@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Fp Hash Hashtbl Instance List Measure Merkle Poseidon Printf Result Schnorr Sha256 Staged String Test Time Toolkit Zen_crypto Zen_snark

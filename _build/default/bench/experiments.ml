@@ -1,0 +1,825 @@
+(* Experiment series (DESIGN.md §4, EXPERIMENTS.md): each function
+   regenerates one figure/claim of the paper as a printed table. *)
+
+open Zen_crypto
+open Zen_latus
+open Zendoo
+
+let amount n = Amount.of_int_exn n
+
+(* ---- E1: Merkle hash tree scaling (Fig. 2) ---- *)
+
+let e1_mht_scaling () =
+  Util.header "E1 mht-scaling (Fig. 2)"
+    "Merkle tree: build O(n); proof size and verification O(log n).";
+  let rows =
+    List.map
+      (fun log_n ->
+        let n = 1 lsl log_n in
+        let blocks = List.init n (fun i -> Printf.sprintf "data-%d" i) in
+        let build_t, tree = Util.time_of_run (fun () -> Merkle.of_data blocks) in
+        let proof = Merkle.prove tree (n / 2) in
+        let leaf = Hash.of_string (Printf.sprintf "data-%d" (n / 2)) in
+        let verify_t =
+          Util.time_per_run ~budget:0.05 (fun () ->
+              Merkle.verify ~root:(Merkle.root tree) ~leaf proof)
+        in
+        [
+          string_of_int n;
+          Util.pp_seconds build_t;
+          string_of_int (Merkle.proof_length proof);
+          Util.pp_bytes (Merkle.proof_size_bytes proof);
+          Util.pp_seconds verify_t;
+        ])
+      [ 6; 8; 10; 12; 14 ]
+  in
+  Util.table
+    ~columns:[ "leaves"; "build"; "proof len"; "proof size"; "verify" ]
+    rows
+
+(* ---- E2: withdrawal epoch schedule and ceasing (Fig. 3, Def. 4.2) ---- *)
+
+let e2_epoch_schedule () =
+  Util.header "E2 epoch-schedule (Fig. 3, Def. 4.2)"
+    "Withdrawal epochs, submission windows, and the ceasing deadline.";
+  let sched = { Epoch.start_block = 100; epoch_len = 10; submit_len = 3 } in
+  let rows =
+    List.map
+      (fun e ->
+        let lo, hi = Epoch.submission_window sched ~epoch:e in
+        [
+          string_of_int e;
+          Printf.sprintf "%d..%d" (Epoch.first_height sched ~epoch:e)
+            (Epoch.last_height sched ~epoch:e);
+          Printf.sprintf "%d..%d" lo hi;
+          string_of_int (hi + 1);
+        ])
+      [ 0; 1; 2; 3 ]
+  in
+  Util.table
+    ~columns:[ "epoch"; "MC heights"; "cert window"; "ceased if none by" ]
+    rows;
+  (* Live ceasing scenario through the harness. *)
+  let h = Zen_sim.Harness.create ~seed:"e2" () in
+  Zen_sim.Harness.fund h ~blocks:3;
+  let sc =
+    Result.get_ok
+      (Zen_sim.Harness.add_latus h ~name:"withholder" ~epoch_len:3
+         ~submit_len:1 ~activation_delay:1 ())
+  in
+  sc.Zen_sim.Harness.withhold_certs <- true;
+  let first_ceased = ref None in
+  for _ = 1 to 10 do
+    Zen_sim.Harness.tick h;
+    if !first_ceased = None && Zen_sim.Harness.is_ceased h sc then
+      first_ceased := Some (Zen_mainchain.Chain.height h.Zen_sim.Harness.chain)
+  done;
+  Util.note
+    "scenario: sidechain withholding certificates ceased at MC height %s \
+     (activation %d, epoch_len 3, submit_len 1)\n"
+    (match !first_ceased with Some height -> string_of_int height | None -> "never")
+    sc.Zen_sim.Harness.config.start_block
+
+(* ---- E3: SCTxsCommitment (Figs. 4 & 12) ---- *)
+
+let e3_sctx_commitment () =
+  Util.header "E3 sctx-commitment (Figs. 4 & 12)"
+    "Two-level commitment: build vs #sidechains; mproof and\n\
+     proofOfNoData stay logarithmic; flat-scan baseline grows linearly.";
+  let mk_entry i nfts =
+    let ledger_id = Hash.of_string (Printf.sprintf "sc-%d" i) in
+    {
+      Sc_commitment.ledger_id;
+      fts =
+        List.init nfts (fun j ->
+            Forward_transfer.make ~ledger_id
+              ~receiver_metadata:(String.make 64 'x')
+              ~amount:(amount (j + 1)));
+      btrs = [];
+      wcert = None;
+    }
+  in
+  let rows =
+    List.map
+      (fun n_sc ->
+        let nfts = 20 in
+        let entries = List.init n_sc (fun i -> mk_entry i nfts) in
+        let build_t, t =
+          Util.time_of_run (fun () -> Result.get_ok (Sc_commitment.build entries))
+        in
+        let target = (List.nth entries (n_sc / 2)).Sc_commitment.ledger_id in
+        let m = Option.get (Sc_commitment.prove_membership t target) in
+        let eh = Sc_commitment.entry_hash (List.nth entries (n_sc / 2)) in
+        let verify_t =
+          Util.time_per_run ~budget:0.05 (fun () ->
+              Sc_commitment.verify_membership ~root:(Sc_commitment.root t)
+                ~ledger_id:target ~entry_hash:eh m)
+        in
+        let absent = Hash.of_string "absent-sc" in
+        let a = Option.get (Sc_commitment.prove_absence t absent) in
+        (* Baseline: shipping + hashing all sidechains' data. *)
+        let flat_t =
+          Util.time_per_run ~budget:0.05 (fun () ->
+              List.iter (fun e -> ignore (Sc_commitment.entry_hash e)) entries)
+        in
+        [
+          string_of_int n_sc;
+          Util.pp_seconds build_t;
+          Util.pp_bytes (Sc_commitment.membership_size_bytes m);
+          Util.pp_seconds verify_t;
+          Util.pp_bytes (Sc_commitment.absence_size_bytes a);
+          Util.pp_seconds flat_t;
+        ])
+      [ 4; 16; 64; 256 ]
+  in
+  Util.table
+    ~columns:
+      [ "#sidechains"; "build"; "mproof"; "verify"; "noData proof"; "flat scan" ]
+    rows
+
+(* ---- E4: slot-leader fairness (Fig. 8, §5.1) ---- *)
+
+let e4_leader_fairness () =
+  Util.header "E4 leader-fairness (Fig. 8, §5.1)"
+    "Slot leadership is proportional to stake (10000 slots).";
+  let stakes =
+    [ ("alice", 500_000); ("bob", 300_000); ("carol", 150_000); ("dave", 50_000) ]
+  in
+  let d =
+    Leader.of_list
+      (List.map (fun (n, s) -> (Hash.of_string n, amount s)) stakes)
+  in
+  let rand = Hash.of_string "e4-epoch-randomness" in
+  let slots = 10_000 in
+  let tally = Hashtbl.create 8 in
+  for slot = 0 to slots - 1 do
+    match Leader.select d ~rand ~slot with
+    | Some l ->
+      Hashtbl.replace tally l (1 + Option.value (Hashtbl.find_opt tally l) ~default:0)
+    | None -> ()
+  done;
+  let total = float_of_int 1_000_000 in
+  let rows =
+    List.map
+      (fun (name, stake) ->
+        let won =
+          Option.value (Hashtbl.find_opt tally (Hash.of_string name)) ~default:0
+        in
+        [
+          name;
+          Printf.sprintf "%.1f%%" (100. *. float_of_int stake /. total);
+          Printf.sprintf "%.1f%%" (100. *. float_of_int won /. float_of_int slots);
+        ])
+      stakes
+  in
+  Util.table ~columns:[ "stakeholder"; "stake"; "slots won" ] rows
+
+(* ---- E5: MST operations and mst_delta (Figs. 9, 15, 16) ---- *)
+
+(* A naive dense Merkle tree that rehashes everything per update — the
+   ablation showing why the sparse tree with cached empty hashes wins. *)
+let naive_root depth leaves =
+  let n = 1 lsl depth in
+  let level =
+    Array.init n (fun i ->
+        Smt.leaf_hash (Option.bind (Hashtbl.find_opt leaves i) Option.some))
+  in
+  let rec up level =
+    if Array.length level = 1 then level.(0)
+    else
+      up
+        (Array.init
+           (Array.length level / 2)
+           (fun i -> Poseidon.hash2 level.(2 * i) level.((2 * i) + 1)))
+  in
+  up level
+
+let e5_mst_ops () =
+  Util.header "E5 mst-ops (Figs. 9, 15, 16)"
+    "Sparse MST update cost is O(depth); a naive dense rebuild is O(2^depth).";
+  let rows =
+    List.map
+      (fun depth ->
+        let params = { Params.default with mst_depth = depth } in
+        let m = ref (Mst.create params) in
+        (* pre-populate 64 utxos *)
+        for i = 0 to 63 do
+          let u =
+            Utxo.make ~addr:(Hash.of_string "addr") ~amount:(amount (i + 1))
+              ~nonce:(Hash.of_string (Printf.sprintf "pre-%d-%d" depth i))
+          in
+          match Mst.insert !m u with Ok (m', _) -> m := m' | Error _ -> ()
+        done;
+        let fresh i =
+          Utxo.make ~addr:(Hash.of_string "addr") ~amount:(amount 7)
+            ~nonce:(Hash.of_string (Printf.sprintf "fresh-%d-%d" depth i))
+        in
+        let counter = ref 0 in
+        let insert_t =
+          Util.time_per_run ~budget:0.1 (fun () ->
+              incr counter;
+              ignore (Mst.insert !m (fresh !counter)))
+        in
+        let pos = 5 in
+        let prove_t =
+          Util.time_per_run ~budget:0.05 (fun () -> Mst.prove_slot !m pos)
+        in
+        let naive_t =
+          if depth <= 12 then begin
+            let leaves = Hashtbl.create 64 in
+            List.iter
+              (fun (p, u) -> Hashtbl.replace leaves p (Utxo.commitment u))
+              (Mst.all_utxos !m);
+            Some (Util.time_per_run ~budget:0.1 ~min_runs:1 (fun () ->
+                naive_root depth leaves))
+          end
+          else None
+        in
+        let delta = Mst.delta_bits !m in
+        [
+          string_of_int depth;
+          string_of_int (1 lsl depth);
+          Util.pp_seconds insert_t;
+          Util.pp_seconds prove_t;
+          (match naive_t with Some t -> Util.pp_seconds t | None -> "(skipped)");
+          Util.pp_bytes (Bytes.length delta);
+        ])
+      [ 8; 12; 16; 20 ]
+  in
+  Util.table
+    ~columns:
+      [ "depth"; "slots"; "sparse insert"; "prove slot"; "naive rebuild"; "mst_delta size" ]
+    rows
+
+(* ---- E6: recursive proof composition (Figs. 10 & 11, §5.4) ---- *)
+
+let e6_recursive_proof () =
+  Util.header "E6 recursive-proof (Figs. 10 & 11)"
+    "Prover work linear in #transitions, merge-tree depth logarithmic,\n\
+     final proof constant; sequential-merge ablation shows the degenerate tree.";
+  let params = Params.default in
+  let family = Circuits.make params in
+  let rsys =
+    Zen_snark.Recursive.create ~name:"bench" ~base_vks:(Circuits.base_vks family)
+  in
+  let make_chain n =
+    (* n inserts applied to a fresh state. *)
+    let state = ref (Sc_state.create params) in
+    List.init n (fun i ->
+        let u =
+          Utxo.make ~addr:(Hash.of_string "bench") ~amount:(amount (i + 1))
+            ~nonce:(Hash.of_string (Printf.sprintf "e6-%d" i))
+        in
+        let step = Sc_tx.Insert u in
+        let proof, vk, s_from, s_to =
+          Result.get_ok (Circuits.prove_step family !state step)
+        in
+        state := Result.get_ok (Sc_tx.apply_step !state step);
+        Result.get_ok
+          (Zen_snark.Recursive.of_base rsys ~vk ~s_from ~s_to ~extra:[||] proof))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let base_t, chain = Util.time_of_run (fun () -> make_chain n) in
+        let merge_t, top =
+          Util.time_of_run (fun () ->
+              Result.get_ok (Zen_snark.Recursive.fold_balanced rsys chain))
+        in
+        let seq_t, seq =
+          Util.time_of_run (fun () ->
+              Result.get_ok (Zen_snark.Recursive.fold_sequential rsys chain))
+        in
+        let verify_t =
+          Util.time_per_run ~budget:0.05 (fun () ->
+              Zen_snark.Recursive.verify rsys top)
+        in
+        [
+          string_of_int n;
+          Util.pp_seconds base_t;
+          Util.pp_seconds merge_t;
+          string_of_int (Zen_snark.Recursive.depth top);
+          string_of_int (Zen_snark.Recursive.depth seq);
+          Util.pp_seconds seq_t;
+          Util.pp_bytes (Zen_snark.Recursive.proof_size_bytes top);
+          Util.pp_seconds verify_t;
+        ])
+      [ 1; 4; 16; 64 ]
+  in
+  Util.table
+    ~columns:
+      [
+        "#transitions"; "base proofs"; "balanced merge"; "depth";
+        "seq depth"; "seq merge"; "final proof"; "verify";
+      ]
+    rows
+
+(* ---- E7: the headline — certificate verification cost (§4.1.2) ---- *)
+
+let e7_wcert_verification () =
+  Util.header "E7 wcert-verification (headline, §4.1.2)"
+    "Mainchain cost to validate one epoch's withdrawals:\n\
+     Zendoo = one SNARK verification (constant);\n\
+     certifier committee [12] = threshold signature checks (linear in m);\n\
+     direct validation = replay every SC transaction (linear in activity).";
+  let params = Params.default in
+  let family = Circuits.make params in
+  let ledger_id = Hash.of_string "e7-sc" in
+  (* Zendoo: build a certificate binding proof and measure Verify. *)
+  let make_cert n_bts =
+    let bt_list =
+      List.init n_bts (fun i ->
+          Backward_transfer.make
+            ~receiver_addr:(Hash.of_string (string_of_int i))
+            ~amount:(amount (i + 1)))
+    in
+    let proofdata =
+      Proofdata.
+        [ Digest (Hash.of_string "sb"); Field Fp.one; Blob (String.make 64 '\000') ]
+    in
+    let end_prev_epoch = Hash.of_string "prev" in
+    let end_epoch = Hash.of_string "cur" in
+    let proof =
+      Result.get_ok
+        (Circuits.prove_wcert_binding family ~quality:42
+           ~bt_root:(Backward_transfer.list_root bt_list)
+           ~end_prev_epoch ~end_epoch ~proofdata ~s_prev:Fp.one ~s_last:Fp.two)
+    in
+    ( Withdrawal_certificate.make ~ledger_id ~epoch_id:1 ~quality:42 ~bt_list
+        ~proofdata ~proof,
+      end_prev_epoch,
+      end_epoch )
+  in
+  (* The certificate (and hence its verification work) is structurally
+     independent of epoch activity: the same constant-size proof covers
+     any number of sidechain transactions. Fix 8 BTs and vary the
+     activity the proof attests to. *)
+  let zendoo_rows =
+    let cert, prev, cur = make_cert 8 in
+    List.map
+      (fun n_txs ->
+        let t =
+          Util.time_per_run ~budget:0.2 (fun () ->
+              Verifier.verify_wcert ~vk:(Circuits.wcert_keys family).vk ~cert
+                ~end_prev_epoch:prev ~end_epoch:cur)
+        in
+        [ "Zendoo SNARK"; string_of_int n_txs; "8 BTs"; Util.pp_seconds t ])
+      [ 16; 256; 4096 ]
+  in
+  (* Payout hashing (MH(BTList)) is linear in the number of
+     *withdrawals* — outputs the MC must materialize under any scheme —
+     not in sidechain activity. *)
+  let payout_rows =
+    List.map
+      (fun n_bts ->
+        let cert, prev, cur = make_cert n_bts in
+        let t =
+          Util.time_per_run ~budget:0.2 (fun () ->
+              Verifier.verify_wcert ~vk:(Circuits.wcert_keys family).vk ~cert
+                ~end_prev_epoch:prev ~end_epoch:cur)
+        in
+        [
+          "Zendoo (payout hashing)";
+          "-";
+          string_of_int n_bts ^ " BTs";
+          Util.pp_seconds t;
+        ])
+      [ 128; 1024 ]
+  in
+  let committee_rows =
+    List.map
+      (fun m ->
+        let c = Zen_baselines.Certifiers.committee_of_seed ~seed:"e7" ~size:m in
+        let threshold = (2 * m / 3) + 1 in
+        let cert =
+          Zen_baselines.Certifiers.make_certificate c
+            ~signers:(List.init threshold Fun.id) ~ledger_id ~epoch_id:1
+            ~bt_list:[]
+        in
+        let t =
+          Util.time_per_run ~budget:0.2 (fun () ->
+              Zen_baselines.Certifiers.verify c ~threshold cert)
+        in
+        [
+          "certifiers [12]";
+          "0";
+          Printf.sprintf "m=%d t=%d" m threshold;
+          Util.pp_seconds t;
+        ])
+      [ 4; 16; 64 ]
+  in
+  let direct_rows =
+    List.map
+      (fun n_txs ->
+        (* an epoch of n payments *)
+        let w = Sc_wallet.create ~seed:"e7-direct" in
+        let addr = Sc_wallet.fresh_address w in
+        let st = ref (Sc_state.create params) in
+        let coins =
+          List.init n_txs (fun i ->
+              Utxo.make ~addr ~amount:(amount 10)
+                ~nonce:(Hash.of_string (Printf.sprintf "d-%d" i)))
+        in
+        List.iter
+          (fun u ->
+            match Mst.insert !st.Sc_state.mst u with
+            | Ok (m, _) -> st := Sc_state.with_mst !st m
+            | Error _ -> ())
+          coins;
+        let initial = !st in
+        let txs =
+          List.filter_map
+            (fun u ->
+              Result.to_option
+                (Sc_wallet.build_backward_transfer w initial ~utxo:u
+                   ~mc_receiver:(Hash.of_string "mc")))
+            coins
+        in
+        let t =
+          Util.time_per_run ~budget:0.2 ~min_runs:1 (fun () ->
+              Zen_baselines.Direct_validation.replay_epoch ~params ~initial ~txs)
+        in
+        [
+          "direct validation";
+          string_of_int n_txs;
+          Util.pp_bytes (Zen_baselines.Direct_validation.epoch_data_bytes ~txs);
+          Util.pp_seconds t;
+        ])
+      [ 16; 64; 256 ]
+  in
+  Util.table
+    ~columns:[ "scheme"; "#SC txs"; "extra"; "MC verify cost" ]
+    (zendoo_rows @ payout_rows @ committee_rows @ direct_rows)
+
+(* ---- E8: BTR/CSW costs and nullifiers (§4.1.2.1) ---- *)
+
+let e8_csw_btr () =
+  Util.header "E8 csw-btr (§4.1.2.1, §5.5.3.2)"
+    "Ownership proof generation/verification and nullifier throughput.";
+  let params = Params.default in
+  let family = Circuits.make params in
+  let m = ref (Mst.create params) in
+  let utxos =
+    List.init 100 (fun i ->
+        Utxo.make ~addr:(Hash.of_string "owner") ~amount:(amount (i + 1))
+          ~nonce:(Hash.of_string (Printf.sprintf "e8-%d" i)))
+  in
+  List.iter
+    (fun u -> match Mst.insert !m u with Ok (m', _) -> m := m' | Error _ -> ())
+    utxos;
+  let u = List.hd utxos in
+  let proofdata = [ Proofdata.Blob (Utxo.encode u) ] in
+  let reference_block = Hash.of_string "refb" in
+  let receiver = Hash.of_string "recv" in
+  let gen_t =
+    Util.time_per_run ~budget:0.3 ~min_runs:2 (fun () ->
+        Circuits.prove_ownership family ~mst:!m ~utxo:u ~reference_block
+          ~receiver ~proofdata)
+  in
+  let proof =
+    Result.get_ok
+      (Circuits.prove_ownership family ~mst:!m ~utxo:u ~reference_block
+         ~receiver ~proofdata)
+  in
+  let request =
+    Mainchain_withdrawal.make ~kind:Mainchain_withdrawal.Csw
+      ~ledger_id:(Hash.of_string "sc") ~receiver ~amount:u.Utxo.amount
+      ~nullifier:(Utxo.nullifier u) ~proofdata ~proof
+  in
+  let verify_t =
+    Util.time_per_run ~budget:0.2 (fun () ->
+        Verifier.verify_withdrawal ~vk:(Circuits.ownership_keys family).vk
+          ~request ~reference_block)
+  in
+  let nullifier_t =
+    let set = ref Hash.Set.empty in
+    let i = ref 0 in
+    Util.time_per_run ~budget:0.1 (fun () ->
+        incr i;
+        let nf = Hash.of_string (string_of_int !i) in
+        if not (Hash.Set.mem nf !set) then set := Hash.Set.add nf !set)
+  in
+  Util.table
+    ~columns:[ "operation"; "cost" ]
+    [
+      [ "ownership proof generation (depth 12)"; Util.pp_seconds gen_t ];
+      [ "MC verification of BTR/CSW"; Util.pp_seconds verify_t ];
+      [ "nullifier check+record"; Util.pp_seconds nullifier_t ];
+      [ "proof size"; Util.pp_bytes Zen_snark.Backend.proof_size_bytes ];
+    ]
+
+(* ---- E9: safeguard stress (§4.1.2.2) ---- *)
+
+let e9_safeguard_stress () =
+  Util.header "E9 safeguard-stress (§4.1.2.2)"
+    "Random epochs of FT/payment/BT traffic: the MC-side balance\n\
+     invariant (withdrawn <= transferred) holds; counts reported.";
+  let h = Zen_sim.Harness.create ~seed:"e9" () in
+  Zen_sim.Harness.fund h ~blocks:6;
+  let sc =
+    Result.get_ok
+      (Zen_sim.Harness.add_latus h ~name:"stress" ~epoch_len:4 ~submit_len:2
+         ~activation_delay:1 ())
+  in
+  let rng = Rng.create 909 in
+  let users = Array.init 4 (fun i -> Sc_wallet.create ~seed:(Printf.sprintf "e9-u%d" i)) in
+  let addrs = Array.map Sc_wallet.fresh_address users in
+  let fts = ref 0 and bts = ref 0 and pays = ref 0 in
+  for round = 1 to 24 do
+    (* random FT *)
+    if Rng.int rng 3 = 0 then begin
+      let u = Rng.int rng 4 in
+      match
+        Zen_sim.Harness.forward_transfer h sc ~receiver:addrs.(u)
+          ~payback:addrs.(u)
+          ~amount:(amount (10_000 + Rng.int rng 100_000))
+      with
+      | Ok () -> incr fts
+      | Error _ -> ()
+    end;
+    (* random SC payment / BT *)
+    let state = Node.next_block_state sc.Zen_sim.Harness.node in
+    let u = Rng.int rng 4 in
+    (match Sc_wallet.utxos users.(u) state with
+    | coin :: _ when round mod 5 = 0 ->
+      (match
+         Sc_wallet.build_backward_transfer users.(u) state ~utxo:coin
+           ~mc_receiver:addrs.(u)
+       with
+      | Ok tx -> (
+        match Node.submit_tx sc.Zen_sim.Harness.node tx with
+        | Ok () -> incr bts
+        | Error _ -> ())
+      | Error _ -> ())
+    | coin :: _ -> (
+      let target = addrs.(Rng.int rng 4) in
+      match
+        Sc_wallet.build_payment users.(u) state ~to_:target
+          ~amount:coin.Utxo.amount
+      with
+      | Ok tx -> (
+        match Node.submit_tx sc.Zen_sim.Harness.node tx with
+        | Ok () -> incr pays
+        | Error _ -> ())
+      | Error _ -> ())
+    | [] -> ());
+    Zen_sim.Harness.tick h
+  done;
+  let balance = Zen_sim.Harness.sc_balance_on_mc h sc in
+  let certified = Node.certified_epochs sc.Zen_sim.Harness.node in
+  Util.table
+    ~columns:[ "metric"; "value" ]
+    [
+      [ "rounds"; "24" ];
+      [ "forward transfers"; string_of_int !fts ];
+      [ "payments"; string_of_int !pays ];
+      [ "backward transfers"; string_of_int !bts ];
+      [ "epochs certified"; string_of_int (List.length certified) ];
+      [ "final SC balance on MC"; Amount.to_string balance ];
+      [ "balance non-negative"; "yes (typed invariant)" ];
+    ]
+
+(* ---- E10: Latus transaction throughput (§5.3) ---- *)
+
+let e10_latus_txs () =
+  Util.header "E10 latus-txs (§5.3)"
+    "State-transition throughput per transaction type (validation +\n\
+     application, no proving).";
+  let params = Params.default in
+  let w = Sc_wallet.create ~seed:"e10" in
+  let addr = Sc_wallet.fresh_address w in
+  let base_state =
+    let st = Sc_state.create params in
+    let mst =
+      List.fold_left
+        (fun m i ->
+          let u =
+            Utxo.make ~addr ~amount:(amount 1000)
+              ~nonce:(Hash.of_string (Printf.sprintf "e10-%d" i))
+          in
+          match Mst.insert m u with Ok (m', _) -> m' | Error _ -> m)
+        st.Sc_state.mst (List.init 128 Fun.id)
+    in
+    Sc_state.with_mst st mst
+  in
+  let coin = List.hd (Sc_wallet.utxos w base_state) in
+  let pay =
+    Result.get_ok
+      (Sc_wallet.build_payment w base_state ~to_:addr ~amount:(amount 500))
+  in
+  let bt =
+    Result.get_ok
+      (Sc_wallet.build_backward_transfer w base_state ~utxo:coin
+         ~mc_receiver:(Hash.of_string "mc"))
+  in
+  let ft =
+    Sc_tx.Forward_transfers_tx
+      {
+        mcid = Hash.zero;
+        fts =
+          [
+            Forward_transfer.make ~ledger_id:Hash.zero
+              ~receiver_metadata:(Sc_tx.ft_metadata ~receiver:addr ~payback:addr)
+              ~amount:(amount 77);
+          ];
+      }
+  in
+  let row name tx =
+    let t =
+      Util.time_per_run ~budget:0.2 (fun () -> Sc_tx.apply base_state tx)
+    in
+    [ name; Util.pp_seconds t; Printf.sprintf "%.0f" (1.0 /. t) ]
+  in
+  Util.table
+    ~columns:[ "tx type"; "apply"; "tx/s" ]
+    [ row "payment (1-in-2-out)" pay; row "backward transfer" bt; row "forward transfers (1 ft)" ft ]
+
+(* ---- E11: SNARK cost profile (Def. 2.3) ---- *)
+
+let e11_snark_costs () =
+  Util.header "E11 snark-costs (Def. 2.3)"
+    "Prove linear in circuit size; proof size and verification constant.";
+  let build_chain_circuit n =
+    let ctx = Zen_snark.Gadget.create () in
+    let x = Zen_snark.Gadget.input ctx Fp.one in
+    let acc = ref x in
+    for _ = 1 to n do
+      acc := Zen_snark.Gadget.poseidon2 ctx !acc x
+    done;
+    let out = Zen_snark.Gadget.witness ctx (Zen_snark.Gadget.value !acc) in
+    Zen_snark.Gadget.assert_eq ctx !acc out;
+    Zen_snark.Gadget.finalize ~name:(Printf.sprintf "chain-%d" n) ctx
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let circuit, public, witness = build_chain_circuit n in
+        let setup_t, (pk, vk) =
+          Util.time_of_run (fun () -> Zen_snark.Backend.setup circuit)
+        in
+        let prove_t =
+          Util.time_per_run ~budget:0.2 ~min_runs:2 (fun () ->
+              Zen_snark.Backend.prove pk ~public ~witness)
+        in
+        let proof = Result.get_ok (Zen_snark.Backend.prove pk ~public ~witness) in
+        let verify_t =
+          Util.time_per_run ~budget:0.1 (fun () ->
+              Zen_snark.Backend.verify vk ~public proof)
+        in
+        [
+          string_of_int (Zen_snark.R1cs.num_constraints circuit);
+          Util.pp_seconds setup_t;
+          Util.pp_seconds prove_t;
+          Util.pp_bytes (String.length (Zen_snark.Backend.proof_encode proof));
+          Util.pp_seconds verify_t;
+        ])
+      [ 1; 8; 32; 128 ]
+  in
+  Util.table
+    ~columns:[ "constraints"; "setup"; "prove"; "proof size"; "verify" ]
+    rows
+
+(* ---- E12: wire sizes — the light-sync claim (§5.5.1) ---- *)
+
+let e12_wire_sizes () =
+  Util.header "E12 wire-sizes (§5.5.1)"
+    "What a sidechain node downloads per MC block: the reference (header\n\
+     + commitment proof + own slice) vs the full block, exact encodings.";
+  let open Zen_mainchain in
+  let params = { Chain_state.default_params with pow = Pow.trivial } in
+  let rows =
+    List.map
+      (fun n_transfers ->
+        let chain = ref (Chain.create ~params ~time:0 ()) in
+        let w = Wallet.create ~seed:(Printf.sprintf "e12-%d" n_transfers) in
+        let addr = Wallet.fresh_address w in
+        (* One mature coinbase per planned transfer (change outputs are
+           not spendable within the same block). *)
+        for t = 1 to n_transfers + 3 do
+          (match Miner.mine_empty !chain ~time:t ~miner_addr:addr with
+          | Ok b -> (
+            match Chain.add_block !chain b with
+            | Ok (c, _) -> chain := c
+            | Error _ -> ())
+          | Error _ -> ())
+        done;
+        (* n plain transfers + one FT to "our" sidechain *)
+        let ledger_id = Hash.of_string "e12-sc" in
+        let rec build state n acc =
+          if n = 0 then List.rev acc
+          else begin
+            match
+              Wallet.build_transfer w state
+                ~outputs:[ Tx.Coin { Tx.addr; amount = amount 1000 } ]
+                ~fee:Amount.zero
+            with
+            | Error _ -> List.rev acc
+            | Ok tx -> (
+              match
+                Chain_state.apply_tx state ~height:(state.height + 1)
+                  ~block_hash:Hash.zero tx
+              with
+              | Ok (state', _) -> build state' (n - 1) (tx :: acc)
+              | Error _ -> List.rev acc)
+          end
+        in
+        let txs = build (Chain.tip_state !chain) n_transfers [] in
+        let ft_tx =
+          Tx.Transfer
+            {
+              inputs = [];
+              outputs =
+                [
+                  Tx.Ft
+                    (Forward_transfer.make ~ledger_id
+                       ~receiver_metadata:(String.make 64 'x')
+                       ~amount:(amount 1));
+                ];
+            }
+        in
+        (* assemble without validation: inputs-empty FT tx is for size
+           measurement of the commitment path only *)
+        let block =
+          match
+            Block.assemble ~prev:(Chain.tip_hash !chain)
+              ~height:(Chain.height !chain + 1)
+              ~time:99
+              ~txs:(txs @ [ ft_tx ])
+              ~pow:Pow.trivial
+          with
+          | Ok b -> b
+          | Error e -> failwith e
+        in
+        let full = Mc_wire.block_size_bytes block in
+        let with_data =
+          Result.get_ok (Zen_latus.Mc_ref.build ~ledger_id block)
+        in
+        let without_data =
+          Result.get_ok
+            (Zen_latus.Mc_ref.build ~ledger_id:(Hash.of_string "other") block)
+        in
+        [
+          string_of_int (List.length block.txs);
+          Util.pp_bytes full;
+          Util.pp_bytes (Zen_latus.Sc_wire.mc_ref_size_bytes with_data);
+          Util.pp_bytes (Zen_latus.Sc_wire.mc_ref_size_bytes without_data);
+        ])
+      [ 5; 20; 80 ]
+  in
+  Util.table
+    ~columns:
+      [ "block txs"; "full MC block"; "mc_ref (with data)"; "mc_ref (no data)" ]
+    rows
+
+(* ---- E13: distributed proving (§5.4.1) ---- *)
+
+let e13_prover_pool () =
+  Util.header "E13 prover-pool (§5.4.1)"
+    "Random dispatch of an epoch's proving tasks across workers:\n\
+     makespan (slowest worker) vs total CPU — the parallelism the\n\
+     paper's incentive scheme is designed to unlock.";
+  let params = Params.default in
+  let family = Circuits.make params in
+  let st = Sc_state.create params in
+  let steps =
+    List.init 24 (fun i ->
+        Sc_tx.Insert
+          (Utxo.make ~addr:(Hash.of_string "e13") ~amount:(amount (i + 1))
+             ~nonce:(Hash.of_string (Printf.sprintf "e13-%d" i))))
+  in
+  let rows =
+    List.map
+      (fun workers ->
+        match
+          Prover_pool.prove_epoch family ~initial:st ~steps ~workers ~seed:77
+        with
+        | Error e -> [ string_of_int workers; e; "-"; "-" ]
+        | Ok (_, stats) ->
+          [
+            string_of_int workers;
+            Util.pp_seconds stats.Prover_pool.total_cpu;
+            Util.pp_seconds stats.Prover_pool.makespan;
+            Printf.sprintf "%.2fx" stats.Prover_pool.speedup;
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  Util.table
+    ~columns:[ "workers"; "total CPU"; "makespan"; "speedup" ]
+    rows
+
+let all =
+  [
+    ("E1", e1_mht_scaling);
+    ("E2", e2_epoch_schedule);
+    ("E3", e3_sctx_commitment);
+    ("E4", e4_leader_fairness);
+    ("E5", e5_mst_ops);
+    ("E6", e6_recursive_proof);
+    ("E7", e7_wcert_verification);
+    ("E8", e8_csw_btr);
+    ("E9", e9_safeguard_stress);
+    ("E10", e10_latus_txs);
+    ("E11", e11_snark_costs);
+    ("E12", e12_wire_sizes);
+    ("E13", e13_prover_pool);
+  ]

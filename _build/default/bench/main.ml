@@ -1,0 +1,19 @@
+(* Benchmark entry point: runs every experiment table (E1–E11,
+   EXPERIMENTS.md) and the bechamel micro section.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- E6 E7    # selected experiments
+     dune exec bench/main.exe -- micro    # micro kernels only *)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> []
+  in
+  let want name = requested = [] || List.mem name requested in
+  List.iter
+    (fun (name, run) -> if want name then run ())
+    Experiments.all;
+  if want "micro" then Micro.run ();
+  print_newline ();
+  print_endline "(benchmarks complete; see EXPERIMENTS.md for interpretation)"

@@ -1,0 +1,56 @@
+(* Timing and table-printing helpers shared by the experiments. *)
+
+let time_of_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Repeat [f] until [budget] seconds elapse (at least [min_runs] times)
+   and report seconds per run. *)
+let time_per_run ?(budget = 0.2) ?(min_runs = 3) f =
+  ignore (f ());
+  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 in
+  while
+    !runs < min_runs || Unix.gettimeofday () -. t0 < budget
+  do
+    ignore (f ());
+    incr runs
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int !runs
+
+let pp_seconds s =
+  if s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.2f s" s
+
+let pp_bytes n =
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%.2f MiB" (float_of_int n /. (1024. *. 1024.))
+
+let header title description =
+  Printf.printf "\n=== %s ===\n%s\n" title description
+
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let note fmt = Printf.printf fmt

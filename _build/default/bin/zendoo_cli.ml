@@ -1,0 +1,141 @@
+(* zendoo-cli: drive the simulation from the command line.
+
+   Subcommands:
+     simulate        run a mainchain+sidechain world and print the event log
+     schedule        print a withdrawal-epoch schedule (Fig. 3)
+     keys            compile the Latus circuit family and show what a
+                     sidechain registers with the mainchain *)
+
+open Cmdliner
+open Zen_crypto
+open Zen_latus
+open Zendoo
+
+(* ---- simulate ---- *)
+
+let simulate seed ticks epoch_len submit_len fts withhold =
+  let h = Zen_sim.Harness.create ~seed () in
+  Zen_sim.Harness.fund h ~blocks:5;
+  match
+    Zen_sim.Harness.add_latus h ~name:"sc" ~epoch_len ~submit_len
+      ~activation_delay:1 ()
+  with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok sc ->
+    sc.withhold_certs <- withhold;
+    let user = Sc_wallet.create ~seed:(seed ^ ".user") in
+    let user_addr = Sc_wallet.fresh_address user in
+    for i = 1 to fts do
+      match
+        Zen_sim.Harness.forward_transfer h sc ~receiver:user_addr
+          ~payback:user_addr
+          ~amount:(Amount.of_int_exn (i * 1_000_000))
+      with
+      | Ok () -> ()
+      | Error e -> Zen_sim.Harness.logf h "ft failed: %s" e
+    done;
+    Zen_sim.Harness.tick_n h ticks;
+    List.iter print_endline (Zen_sim.Harness.dump_log h);
+    Printf.printf
+      "\nfinal: MC height %d | SC height %d | balance-on-MC %s | ceased %b | \
+       certified epochs [%s]\n"
+      (Zen_mainchain.Chain.height h.chain)
+      (Node.sc_height sc.node)
+      (Amount.to_string (Zen_sim.Harness.sc_balance_on_mc h sc))
+      (Zen_sim.Harness.is_ceased h sc)
+      (String.concat ";"
+         (List.map string_of_int (Node.certified_epochs sc.node)));
+    0
+
+(* ---- schedule ---- *)
+
+let schedule start epoch_len submit_len epochs =
+  let s = { Epoch.start_block = start; epoch_len; submit_len } in
+  Printf.printf "%-6s %-16s %-16s %s\n" "epoch" "MC heights" "cert window"
+    "ceased if no cert by";
+  for e = 0 to epochs - 1 do
+    let lo, hi = Epoch.submission_window s ~epoch:e in
+    Printf.printf "%-6d %-16s %-16s %d\n" e
+      (Printf.sprintf "%d..%d"
+         (Epoch.first_height s ~epoch:e)
+         (Epoch.last_height s ~epoch:e))
+      (Printf.sprintf "%d..%d" lo hi)
+      (hi + 1);
+  done;
+  0
+
+(* ---- keys ---- *)
+
+let keys mst_depth =
+  let params = { Params.default with mst_depth } in
+  match Params.validate params with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok () ->
+    let family = Circuits.make params in
+    let show what (k : Circuits.keys) =
+      Printf.printf "%-12s vk=%s  %6d constraints\n" what
+        (Hash.to_hex (Zen_snark.Backend.vk_digest k.vk))
+        k.constraints
+    in
+    Printf.printf "Latus circuit family (MST depth %d)\n\n" mst_depth;
+    Printf.printf "registered with the mainchain at sidechain creation:\n";
+    show "wcert_vk" (Circuits.wcert_keys family);
+    show "btr/csw_vk" (Circuits.ownership_keys family);
+    Printf.printf "\ninternal base circuits (leaves of the recursion):\n";
+    List.iter
+      (fun vk ->
+        Printf.printf "%-12s vk=%s\n" "base"
+          (Hash.to_hex (Zen_snark.Backend.vk_digest vk)))
+      (Circuits.base_vks family);
+    0
+
+(* ---- cmdliner wiring ---- *)
+
+let seed_t =
+  Arg.(value & opt string "cli" & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let simulate_cmd =
+  let ticks =
+    Arg.(value & opt int 16 & info [ "ticks" ] ~doc:"Simulation rounds.")
+  in
+  let epoch_len =
+    Arg.(value & opt int 4 & info [ "epoch-len" ] ~doc:"Withdrawal epoch length.")
+  in
+  let submit_len =
+    Arg.(value & opt int 2 & info [ "submit-len" ] ~doc:"Certificate window.")
+  in
+  let fts =
+    Arg.(value & opt int 2 & info [ "fts" ] ~doc:"Forward transfers to inject.")
+  in
+  let withhold =
+    Arg.(value & flag & info [ "withhold" ] ~doc:"Withhold certificates (drive ceasing).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
+    Term.(const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold)
+
+let schedule_cmd =
+  let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
+  let epoch_len = Arg.(value & opt int 10 & info [ "epoch-len" ] ~doc:"Epoch length.") in
+  let submit_len = Arg.(value & opt int 3 & info [ "submit-len" ] ~doc:"Window length.") in
+  let epochs = Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Epochs to print.") in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print a withdrawal-epoch schedule (Fig. 3)")
+    Term.(const schedule $ start $ epoch_len $ submit_len $ epochs)
+
+let keys_cmd =
+  let depth = Arg.(value & opt int 12 & info [ "mst-depth" ] ~doc:"MST depth.") in
+  Cmd.v
+    (Cmd.info "keys" ~doc:"Compile the Latus circuits and print registration keys")
+    Term.(const keys $ depth)
+
+let () =
+  let doc = "Zendoo cross-chain transfer protocol simulator" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "zendoo-cli" ~doc)
+          [ simulate_cmd; schedule_cmd; keys_cmd ]))

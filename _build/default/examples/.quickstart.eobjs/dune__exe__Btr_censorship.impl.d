@@ -1,0 +1,1 @@
+examples/btr_censorship.ml: Amount Chain Hash List Mainchain_withdrawal Node Option Printf Sc_ledger Sc_wallet String Tx Utxo_set Wallet Zen_crypto Zen_latus Zen_mainchain Zen_sim Zendoo

@@ -1,0 +1,1 @@
+examples/btr_censorship.mli:

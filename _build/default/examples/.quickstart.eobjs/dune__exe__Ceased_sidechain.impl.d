@@ -1,0 +1,1 @@
+examples/ceased_sidechain.ml: Amount Chain Hash List Mainchain_withdrawal Node Option Printf Sc_ledger Sc_wallet String Tx Utxo Utxo_set Wallet Zen_crypto Zen_latus Zen_mainchain Zen_sim Zendoo

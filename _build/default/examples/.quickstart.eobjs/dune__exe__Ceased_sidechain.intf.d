@@ -1,0 +1,1 @@
+examples/ceased_sidechain.mli:

@@ -1,0 +1,1 @@
+examples/multi_sidechain.ml: Amount Chain Circuits Hash List Mc_ref Miner Node Params Printf Sc_block Sc_wallet String Wallet Zen_crypto Zen_latus Zen_mainchain Zen_sim Zendoo

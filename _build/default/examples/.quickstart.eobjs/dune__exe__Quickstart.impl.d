@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amount Chain Hash List Node Printf Sc_wallet String Utxo_set Wallet Zen_crypto Zen_latus Zen_mainchain Zen_sim Zendoo

@@ -1,0 +1,1 @@
+lib/baselines/certifiers.ml: Array Backward_transfer Hash List Printf Schnorr Zen_crypto Zendoo

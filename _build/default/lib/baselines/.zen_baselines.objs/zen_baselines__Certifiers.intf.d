@@ -1,0 +1,1 @@
+lib/baselines/certifiers.mli: Backward_transfer Hash Schnorr Zen_crypto Zendoo

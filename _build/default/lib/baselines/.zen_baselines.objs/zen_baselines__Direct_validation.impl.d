@@ -1,0 +1,1 @@
+lib/baselines/direct_validation.ml: Backward_transfer List Result Sc_state Sc_tx Sc_wire String Zen_latus Zendoo

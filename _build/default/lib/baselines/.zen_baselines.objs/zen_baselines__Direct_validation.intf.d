@@ -1,0 +1,1 @@
+lib/baselines/direct_validation.mli: Backward_transfer Zen_latus Zendoo

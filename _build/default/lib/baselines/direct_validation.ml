@@ -1,0 +1,22 @@
+open Zendoo
+open Zen_latus
+
+let replay_epoch ~params:_ ~initial ~txs =
+  List.fold_left
+    (fun acc tx -> Result.bind acc (fun st -> Sc_tx.apply st tx))
+    (Ok initial) txs
+
+(* Exact wire sizes: what the MC would actually have to download. *)
+let epoch_data_bytes ~txs =
+  List.fold_left
+    (fun a tx -> a + String.length (Sc_wire.encode_tx tx))
+    0 txs
+
+let check_withdrawals ~final ~claimed =
+  let produced = final.Sc_state.backward_transfers in
+  if List.length produced <> List.length claimed then
+    Error "direct validation: withdrawal count mismatch"
+  else if
+    List.for_all2 Backward_transfer.equal produced claimed
+  then Ok ()
+  else Error "direct validation: withdrawal mismatch"

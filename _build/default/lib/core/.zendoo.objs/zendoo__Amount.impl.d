@@ -1,0 +1,1 @@
+lib/core/amount.ml: Format List Printf Stdlib Zen_crypto

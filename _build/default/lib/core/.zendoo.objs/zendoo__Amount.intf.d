@@ -1,0 +1,1 @@
+lib/core/amount.mli: Format Zen_crypto

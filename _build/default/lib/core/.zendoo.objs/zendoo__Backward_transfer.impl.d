@@ -1,0 +1,1 @@
+lib/core/backward_transfer.ml: Amount Format Hash List Merkle Zen_crypto

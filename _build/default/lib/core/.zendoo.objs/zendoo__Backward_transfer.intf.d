@@ -1,0 +1,1 @@
+lib/core/backward_transfer.mli: Amount Format Fp Hash Merkle Zen_crypto

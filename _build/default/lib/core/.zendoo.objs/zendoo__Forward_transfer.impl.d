@@ -1,0 +1,1 @@
+lib/core/forward_transfer.ml: Amount Format Hash Sha256 String Zen_crypto

@@ -1,0 +1,1 @@
+lib/core/forward_transfer.mli: Amount Format Hash Zen_crypto

@@ -1,0 +1,1 @@
+lib/core/mainchain_withdrawal.ml: Amount Array Backend Format Hash Proofdata Zen_crypto Zen_snark

@@ -1,0 +1,1 @@
+lib/core/mainchain_withdrawal.mli: Amount Backend Format Fp Hash Proofdata Zen_crypto Zen_snark

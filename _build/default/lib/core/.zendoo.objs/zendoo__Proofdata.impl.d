@@ -1,0 +1,1 @@
+lib/core/proofdata.ml: Format Fp Hash List Merkle String Zen_crypto

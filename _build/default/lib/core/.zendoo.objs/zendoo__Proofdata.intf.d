@@ -1,0 +1,1 @@
+lib/core/proofdata.mli: Format Fp Hash Merkle Zen_crypto

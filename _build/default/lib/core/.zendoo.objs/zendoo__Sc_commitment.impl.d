@@ -1,0 +1,1 @@
+lib/core/sc_commitment.ml: Array Forward_transfer Hash List Mainchain_withdrawal Merkle String Wire Withdrawal_certificate Zen_crypto

@@ -1,0 +1,1 @@
+lib/core/sidechain_config.ml: Backend Hash Printf Proofdata Result Zen_crypto Zen_snark

@@ -1,0 +1,1 @@
+lib/core/sidechain_config.mli: Backend Hash Proofdata Zen_crypto Zen_snark

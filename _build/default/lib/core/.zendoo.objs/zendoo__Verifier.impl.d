@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Amount Backend Hash Mainchain_withdrawal Proofdata Sidechain_config Withdrawal_certificate Zen_crypto Zen_snark

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Backend Hash Mainchain_withdrawal Sidechain_config Withdrawal_certificate Zen_crypto Zen_snark

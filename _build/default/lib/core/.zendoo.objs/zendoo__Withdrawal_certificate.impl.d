@@ -1,0 +1,1 @@
+lib/core/withdrawal_certificate.ml: Amount Array Backend Backward_transfer Format Fp Hash List Proofdata Zen_crypto Zen_snark

@@ -1,0 +1,1 @@
+lib/core/withdrawal_certificate.mli: Amount Backend Backward_transfer Format Fp Hash Proofdata Zen_crypto Zen_snark

@@ -1,0 +1,48 @@
+open Zen_crypto
+
+type elem =
+  | Field of Fp.t
+  | Digest of Hash.t
+  | Uint of int
+  | Blob of string
+
+type elem_type = Tfield | Tdigest | Tuint | Tblob
+
+type t = elem list
+type schema = elem_type list
+
+let type_of = function
+  | Field _ -> Tfield
+  | Digest _ -> Tdigest
+  | Uint _ -> Tuint
+  | Blob _ -> Tblob
+
+let matches schema pd =
+  List.length schema = List.length pd
+  && List.for_all2 (fun ty e -> type_of e = ty) schema pd
+
+let encode_elem = function
+  | Field f -> "F" ^ string_of_int (Fp.to_int f)
+  | Digest d -> "D" ^ Hash.to_raw d
+  | Uint n -> "U" ^ string_of_int n
+  | Blob b -> "B" ^ b
+
+let elem_hash e = Hash.tagged "proofdata.elem" [ encode_elem e ]
+let tree pd = Merkle.of_leaves (List.map elem_hash pd)
+let root pd = Merkle.root (tree pd)
+let root_fp pd = Hash.to_fp (root pd)
+let membership_proof pd i = Merkle.prove (tree pd) i
+
+let verify_membership ~root elem proof =
+  Merkle.verify ~root ~leaf:(elem_hash elem) proof
+
+let encode pd = String.concat ";" (List.map encode_elem pd)
+
+let pp_elem fmt = function
+  | Field f -> Format.fprintf fmt "field:%a" Fp.pp f
+  | Digest d -> Format.fprintf fmt "digest:%a" Hash.pp d
+  | Uint n -> Format.fprintf fmt "uint:%d" n
+  | Blob b -> Format.fprintf fmt "blob[%d]" (String.length b)
+
+let pp fmt pd =
+  Format.fprintf fmt "[%a]" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp_elem) pd

@@ -1,0 +1,40 @@
+(** Sidechain-defined [proofdata]: typed variables whose semantics the
+    mainchain does not know (paper §4.1.2, Def. 4.4).
+
+    The mainchain only fixes the *types* of the elements (declared in
+    the sidechain configuration) and folds them into a Merkle root
+    [MH(proofdata)] that becomes one public input of the SNARK
+    verifier, keeping the public-input vector short. *)
+
+open Zen_crypto
+
+type elem =
+  | Field of Fp.t      (** a SNARK-field element *)
+  | Digest of Hash.t   (** a 32-byte hash *)
+  | Uint of int        (** a non-negative integer *)
+  | Blob of string     (** opaque bytes *)
+
+type elem_type = Tfield | Tdigest | Tuint | Tblob
+
+type t = elem list
+type schema = elem_type list
+
+val type_of : elem -> elem_type
+val matches : schema -> t -> bool
+(** Structural check the mainchain performs on submission. *)
+
+val elem_hash : elem -> Hash.t
+val root : t -> Hash.t
+(** [MH(proofdata)]: Merkle root over the element hashes. *)
+
+val root_fp : t -> Fp.t
+(** The root projected into the SNARK field — the form in which it
+    enters the public input. *)
+
+val membership_proof : t -> int -> Merkle.proof
+(** Merkle proof that the [i]-th element is committed by [root]. *)
+
+val verify_membership : root:Hash.t -> elem -> Merkle.proof -> bool
+
+val encode : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+open Zen_crypto
+open Zen_snark
+
+let public_input_arity = 5
+
+let verify_wcert ~vk ~(cert : Withdrawal_certificate.t) ~end_prev_epoch
+    ~end_epoch =
+  let public =
+    Withdrawal_certificate.public_input cert ~end_prev_epoch ~end_epoch
+  in
+  Backend.verify vk ~public cert.proof
+
+let verify_withdrawal ~vk ~(request : Mainchain_withdrawal.t) ~reference_block
+    =
+  let public = Mainchain_withdrawal.public_input request ~reference_block in
+  Backend.verify vk ~public request.proof
+
+let check_wcert_statics ~(config : Sidechain_config.t)
+    ~(cert : Withdrawal_certificate.t) =
+  if not (Hash.equal cert.ledger_id config.ledger_id) then
+    Error "wcert: ledger id mismatch"
+  else if not (Proofdata.matches config.wcert_proofdata cert.proofdata) then
+    Error "wcert: proofdata does not match registered schema"
+  else if cert.epoch_id < 0 then Error "wcert: negative epoch"
+  else if cert.quality < 0 then Error "wcert: negative quality"
+  else Ok ()
+
+let check_withdrawal_statics ~(config : Sidechain_config.t)
+    ~(request : Mainchain_withdrawal.t) =
+  if not (Hash.equal request.ledger_id config.ledger_id) then
+    Error "withdrawal: ledger id mismatch"
+  else begin
+    let schema =
+      match request.kind with
+      | Mainchain_withdrawal.Btr -> config.btr_proofdata
+      | Mainchain_withdrawal.Csw -> config.csw_proofdata
+    in
+    if not (Proofdata.matches schema request.proofdata) then
+      Error "withdrawal: proofdata does not match registered schema"
+    else if Amount.is_zero request.amount then
+      Error "withdrawal: zero amount"
+    else Ok ()
+  end

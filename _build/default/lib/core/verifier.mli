@@ -1,0 +1,39 @@
+(** The unified SNARK verification interface the mainchain applies to
+    every sidechain (paper §4.1.2).
+
+    Each sidechain registers verification keys; the mainchain only ever
+    calls [Verify(vk, public_input, proof)] where the public input has
+    the fixed 5-element shape [(sysdata…, MH(proofdata))]. Verification
+    cost is constant regardless of what happened in the sidechain —
+    experiment E7 measures this against the baselines. *)
+
+open Zen_crypto
+open Zen_snark
+
+val public_input_arity : int
+(** 5: four sysdata elements plus the proofdata root. *)
+
+val verify_wcert :
+  vk:Backend.verification_key ->
+  cert:Withdrawal_certificate.t ->
+  end_prev_epoch:Hash.t ->
+  end_epoch:Hash.t ->
+  bool
+(** Checks the certificate proof against the mainchain-enforced
+    [wcert_sysdata] (quality, MH(BTList), epoch boundary block hashes). *)
+
+val verify_withdrawal :
+  vk:Backend.verification_key ->
+  request:Mainchain_withdrawal.t ->
+  reference_block:Hash.t ->
+  bool
+(** Shared BTR/CSW verification against [btr_sysdata]. *)
+
+val check_wcert_statics :
+  config:Sidechain_config.t -> cert:Withdrawal_certificate.t -> (unit, string) result
+(** The non-SNARK rules of "WCert Verification" (§4.1.2): ledger id
+    match and proofdata schema conformance. Epoch-window and quality
+    ordering need chain context and live in the mainchain ledger. *)
+
+val check_withdrawal_statics :
+  config:Sidechain_config.t -> request:Mainchain_withdrawal.t -> (unit, string) result

@@ -1,0 +1,46 @@
+open Zen_crypto
+open Zen_snark
+
+type t = {
+  ledger_id : Hash.t;
+  epoch_id : int;
+  quality : int;
+  bt_list : Backward_transfer.t list;
+  proofdata : Proofdata.t;
+  proof : Backend.proof;
+}
+
+let make ~ledger_id ~epoch_id ~quality ~bt_list ~proofdata ~proof =
+  { ledger_id; epoch_id; quality; bt_list; proofdata; proof }
+
+let hash t =
+  Hash.tagged "cctp.wcert"
+    [
+      Hash.to_raw t.ledger_id;
+      string_of_int t.epoch_id;
+      string_of_int t.quality;
+      Hash.to_raw (Backward_transfer.list_root t.bt_list);
+      Proofdata.encode t.proofdata;
+    ]
+
+let total_withdrawn t =
+  Amount.sum (List.map (fun (bt : Backward_transfer.t) -> bt.amount) t.bt_list)
+
+let sysdata ~quality ~bt_root ~end_prev_epoch ~end_epoch =
+  [|
+    Fp.of_int quality;
+    Hash.to_fp bt_root;
+    Hash.to_fp end_prev_epoch;
+    Hash.to_fp end_epoch;
+  |]
+
+let public_input t ~end_prev_epoch ~end_epoch =
+  Array.append
+    (sysdata ~quality:t.quality
+       ~bt_root:(Backward_transfer.list_root t.bt_list)
+       ~end_prev_epoch ~end_epoch)
+    [| Proofdata.root_fp t.proofdata |]
+
+let pp fmt t =
+  Format.fprintf fmt "WCert(sc=%a, epoch=%d, quality=%d, bts=%d)" Hash.pp
+    t.ledger_id t.epoch_id t.quality (List.length t.bt_list)

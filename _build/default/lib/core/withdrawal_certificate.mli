@@ -1,0 +1,50 @@
+(** Withdrawal certificates (paper Def. 4.4): the sidechain heartbeat
+    and backward-transfer carrier.
+
+    The mainchain-enforced part of the SNARK public input,
+    [wcert_sysdata = (quality, MH(BTList), H(B_prev_last), H(B_last))],
+    is assembled here so the verifying and proving sides can never
+    disagree on its encoding. *)
+
+open Zen_crypto
+open Zen_snark
+
+type t = {
+  ledger_id : Hash.t;
+  epoch_id : int;
+  quality : int;
+  bt_list : Backward_transfer.t list;
+  proofdata : Proofdata.t;
+  proof : Backend.proof;
+}
+
+val make :
+  ledger_id:Hash.t ->
+  epoch_id:int ->
+  quality:int ->
+  bt_list:Backward_transfer.t list ->
+  proofdata:Proofdata.t ->
+  proof:Backend.proof ->
+  t
+
+val hash : t -> Hash.t
+(** Certificate identifier (excluding the proof bytes, which are
+    recomputable from the statement in this backend). *)
+
+val total_withdrawn : t -> (Amount.t, string) result
+(** Sum of the certificate's backward transfers — what the safeguard
+    subtracts from the sidechain balance. *)
+
+val sysdata :
+  quality:int ->
+  bt_root:Hash.t ->
+  end_prev_epoch:Hash.t ->
+  end_epoch:Hash.t ->
+  Fp.t array
+(** [wcert_sysdata] as the first four public-input field elements. *)
+
+val public_input :
+  t -> end_prev_epoch:Hash.t -> end_epoch:Hash.t -> Fp.t array
+(** The full 5-element public input: sysdata ‖ MH(proofdata). *)
+
+val pp : Format.formatter -> t -> unit

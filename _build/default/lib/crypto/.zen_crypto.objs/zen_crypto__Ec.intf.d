@@ -1,0 +1,1 @@
+lib/crypto/ec.mli: Bignum

@@ -1,0 +1,1 @@
+lib/crypto/fp.ml: Char Format Int64 Stdlib String

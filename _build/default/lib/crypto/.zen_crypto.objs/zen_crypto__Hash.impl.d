@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Char Format Fp List Map Printf Set Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/poseidon.ml: Array Fp Printf Sha256

@@ -1,0 +1,1 @@
+lib/crypto/poseidon.mli: Fp

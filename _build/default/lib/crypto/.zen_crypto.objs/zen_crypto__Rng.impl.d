@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Array Char Hash Int64 String

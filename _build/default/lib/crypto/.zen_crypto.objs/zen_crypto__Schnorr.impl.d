@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Bignum Ec Hash Rng Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/smt.ml: Array Fp List Poseidon

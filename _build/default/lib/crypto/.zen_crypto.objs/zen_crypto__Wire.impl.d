@@ -1,0 +1,1 @@
+lib/crypto/wire.ml: Buffer Char Fp Hash List Printf Result String

@@ -1,0 +1,46 @@
+(** The secp256k1 elliptic curve y² = x³ + 7 over F_p, built on
+    {!Bignum}.
+
+    Scalar multiplication uses Jacobian coordinates (one field inversion
+    per affine conversion instead of one per point addition), which is
+    what makes Schnorr signing/verification fast enough for the
+    simulation's workloads. *)
+
+type point
+(** A point on the curve, including the point at infinity. *)
+
+val infinity : point
+val g : point
+(** The standard generator. *)
+
+val p : Bignum.t
+(** Base field modulus. *)
+
+val n : Bignum.t
+(** Group order (prime). *)
+
+val is_infinity : point -> bool
+val equal : point -> point -> bool
+
+val of_affine : Bignum.t -> Bignum.t -> point
+(** Raises [Invalid_argument] if the coordinates are not on the curve. *)
+
+val to_affine : point -> (Bignum.t * Bignum.t) option
+(** [None] for the point at infinity. *)
+
+val add : point -> point -> point
+val double : point -> point
+val neg : point -> point
+val mul : Bignum.t -> point -> point
+(** Scalar multiplication; the scalar is reduced mod [n]. *)
+
+val on_curve : Bignum.t -> Bignum.t -> bool
+
+val encode : point -> string
+(** 65-byte uncompressed encoding (0x04 ‖ x ‖ y); a single 0x00 byte for
+    infinity. *)
+
+val decode : string -> point option
+
+val scalar_ring : Bignum.Modring.ring
+(** Arithmetic mod [n], for building signature schemes on top. *)

@@ -1,0 +1,86 @@
+(* F_p for p = 2^61 - 1. An OCaml int has 63 bits, so a canonical element
+   (< 2^61) fits with room to add two of them; products are computed by
+   splitting operands into 31/30-bit halves so every partial product stays
+   under 2^62, then folded with 2^61 ≡ 1 (mod p). *)
+
+type t = int
+
+let p = (1 lsl 61) - 1
+let zero = 0
+let one = 1
+let two = 2
+
+(* Fold a value < 2^63 into [0, 2^62): x = hi*2^61 + lo ≡ hi + lo. *)
+let fold62 x = (x land p) + (x lsr 61)
+
+let reduce x =
+  let x = fold62 x in
+  let x = fold62 x in
+  if x >= p then x - p else x
+
+let of_int n =
+  let r = n mod p in
+  if r < 0 then r + p else r
+
+let to_int x = x
+
+let of_bytes_le s =
+  let n = min 8 (String.length s) in
+  let acc = ref 0 in
+  for i = n - 1 downto 0 do
+    acc := ((!acc lsl 8) lor Char.code s.[i]) land max_int
+  done;
+  reduce !acc
+
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+let is_zero a = a = 0
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a + p - b
+let neg a = if a = 0 then 0 else p - a
+
+let mul a b =
+  (* a = a1*2^31 + a0, b = b1*2^31 + b0; a1,b1 < 2^30, a0,b0 < 2^31.
+     a*b = a1*b1*2^62 + (a1*b0 + a0*b1)*2^31 + a0*b0
+         ≡ 2*a1*b1 + mid*2^31 + a0*b0  (mod p), with 2^62 ≡ 2. *)
+  let a1 = a lsr 31 and a0 = a land 0x7fffffff in
+  let b1 = b lsr 31 and b0 = b land 0x7fffffff in
+  let hi = reduce (2 * a1 * b1) in
+  let lo = reduce (a0 * b0) in
+  let mid = reduce ((a1 * b0) + (a0 * b1)) in
+  (* mid < 2^61; mid*2^31 = m1*2^61 + m0*2^31 ≡ m1 + m0*2^31 with
+     m1 = mid >> 30 < 2^31 and m0 = mid low 30 bits. *)
+  let m1 = mid lsr 30 and m0 = mid land 0x3fffffff in
+  reduce (hi + lo + m1 + (m0 lsl 31))
+
+let sq a = mul a a
+
+let pow a e =
+  if e < 0 then invalid_arg "Fp.pow: negative exponent";
+  let rec go acc a e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc a) (sq a) (e lsr 1)
+    else go acc (sq a) (e lsr 1)
+  in
+  go one a e
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  pow a (p - 2)
+
+let div a b = mul a (inv b)
+
+let random gen =
+  (* Rejection-sample 61 bits to stay uniform. *)
+  let rec go () =
+    let x = Int64.to_int (gen ()) land p in
+    if x >= p then go () else x
+  in
+  go ()
+
+let to_string = string_of_int
+let pp fmt a = Format.fprintf fmt "%d" a

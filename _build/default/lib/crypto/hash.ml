@@ -1,0 +1,42 @@
+type t = string
+
+let size = 32
+
+let of_raw s =
+  if String.length s <> size then invalid_arg "Hash.of_raw: need 32 bytes";
+  s
+
+let to_raw t = t
+let zero = String.make size '\000'
+let of_string s = Sha256.digest s
+let concat ts = Sha256.digest_list ts
+
+(* Length-framed, tagged hashing: H(len(tag) | tag | len(p1) | p1 | ...)
+   so distinct part lists can never produce the same preimage. *)
+let tagged tag parts =
+  let frame s = Printf.sprintf "%08x" (String.length s) ^ s in
+  Sha256.digest_list (frame tag :: List.map frame parts)
+
+let of_int n = of_string (string_of_int n)
+let to_hex = Sha256.to_hex
+let short_hex t = String.sub (to_hex t) 0 8
+
+let of_hex s =
+  if String.length s <> 2 * size then invalid_arg "Hash.of_hex: need 64 chars";
+  let nib c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Hash.of_hex: bad character"
+  in
+  String.init size (fun i ->
+      Char.chr ((nib s.[2 * i] lsl 4) lor nib s.[(2 * i) + 1]))
+
+let to_fp t = Fp.of_bytes_le t
+let equal = String.equal
+let compare = String.compare
+let pp fmt t = Format.pp_print_string fmt (short_hex t)
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)

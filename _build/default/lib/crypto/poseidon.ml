@@ -1,0 +1,89 @@
+let width = 3
+let rounds_full = 8
+let rounds_partial = 22
+let rounds_total = rounds_full + rounds_partial
+
+(* Round constants and MDS entries are drawn from a SHA-256 counter
+   stream under distinct domain tags (a "nothing-up-my-sleeve"
+   derivation; see DESIGN.md §3 on parameter provenance). *)
+let field_stream tag count =
+  Array.init count (fun i ->
+      Fp.of_bytes_le (Sha256.digest (Printf.sprintf "zendoo.poseidon.%s.%d" tag i)))
+
+let round_constants = field_stream "arc" (rounds_total * width)
+
+let mds =
+  (* A Cauchy matrix 1/(x_i + y_j) over distinct x, y is invertible and
+     MDS; build one from small fixed coordinates. *)
+  let x = [| Fp.of_int 1; Fp.of_int 2; Fp.of_int 3 |] in
+  let y = [| Fp.of_int 4; Fp.of_int 5; Fp.of_int 6 |] in
+  Array.init width (fun i ->
+      Array.init width (fun j -> Fp.inv (Fp.add x.(i) y.(j))))
+
+(* x^17 via 4 squarings and one multiply. *)
+let sbox x =
+  let x2 = Fp.sq x in
+  let x4 = Fp.sq x2 in
+  let x8 = Fp.sq x4 in
+  let x16 = Fp.sq x8 in
+  Fp.mul x16 x
+
+let apply_mds state scratch =
+  for i = 0 to width - 1 do
+    let acc = ref Fp.zero in
+    for j = 0 to width - 1 do
+      acc := Fp.add !acc (Fp.mul mds.(i).(j) state.(j))
+    done;
+    scratch.(i) <- !acc
+  done;
+  Array.blit scratch 0 state 0 width
+
+let permute input =
+  if Array.length input <> width then invalid_arg "Poseidon.permute: width 3";
+  let state = Array.copy input in
+  let scratch = Array.make width Fp.zero in
+  let half_full = rounds_full / 2 in
+  let round r full =
+    for i = 0 to width - 1 do
+      state.(i) <- Fp.add state.(i) round_constants.((r * width) + i)
+    done;
+    if full then
+      for i = 0 to width - 1 do
+        state.(i) <- sbox state.(i)
+      done
+    else state.(0) <- sbox state.(0);
+    apply_mds state scratch
+  in
+  for r = 0 to half_full - 1 do
+    round r true
+  done;
+  for r = half_full to half_full + rounds_partial - 1 do
+    round r false
+  done;
+  for r = half_full + rounds_partial to rounds_total - 1 do
+    round r true
+  done;
+  state
+
+let hash2 a b =
+  let out = permute [| a; b; Fp.of_int 2 (* domain: 2-to-1 *) |] in
+  out.(0)
+
+let hash_fields fields =
+  (* Sponge with rate 2: absorb two elements per permutation; the
+     capacity lane is initialized with the message length for
+     domain separation between lengths. *)
+  let n = Array.length fields in
+  let state = [| Fp.zero; Fp.zero; Fp.of_int (n + 3) |] in
+  let state = ref state in
+  let i = ref 0 in
+  while !i < n do
+    let s = Array.copy !state in
+    s.(0) <- Fp.add s.(0) fields.(!i);
+    if !i + 1 < n then s.(1) <- Fp.add s.(1) fields.(!i + 1);
+    state := permute s;
+    i := !i + 2
+  done;
+  if n = 0 then (permute !state).(0) else !state.(0)
+
+let hash_list fields = hash_fields (Array.of_list fields)

@@ -1,0 +1,30 @@
+(** Deterministic, seedable PRNG (splitmix64).
+
+    Every randomized component of the reproduction — slot-leader
+    election, workload generators, key generation in tests — draws from
+    this generator so that experiments are bit-reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** Seed from an integer. *)
+
+val of_hash : Hash.t -> t
+(** Seed from a digest (e.g. epoch randomness). *)
+
+val split : t -> t
+(** Derives an independent stream; the parent advances. *)
+
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int64_nonneg : t -> int64
+val bool : t -> bool
+val bytes : t -> int -> string
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

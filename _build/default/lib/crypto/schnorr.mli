@@ -1,0 +1,38 @@
+(** Schnorr signatures over secp256k1 (BIP340-flavoured, with the full
+    nonce point carried in the signature instead of x-only keys).
+
+    Authorizes UTXO spends on both chains and signs certifier
+    endorsements in the baseline protocol. Nonces are derived
+    deterministically from the secret key and message (RFC6979-style via
+    HMAC), so signing never consumes ambient randomness. *)
+
+type secret_key
+type public_key
+type signature
+
+val generate : Rng.t -> secret_key * public_key
+(** Fresh keypair from the deterministic RNG. *)
+
+val of_seed : string -> secret_key * public_key
+(** Keypair derived from a seed string (for reproducible fixtures). *)
+
+val public_of_secret : secret_key -> public_key
+
+val sign : secret_key -> string -> signature
+val verify : public_key -> string -> signature -> bool
+
+val pk_encode : public_key -> string
+(** 65-byte encoding; injective. *)
+
+val pk_decode : string -> public_key option
+val pk_equal : public_key -> public_key -> bool
+
+val pk_hash : public_key -> Hash.t
+(** Address derivation: H(encoded pk). *)
+
+val sig_encode : signature -> string
+(** 96-byte encoding (R.x ‖ R.y ‖ s). *)
+
+val sig_decode : string -> signature option
+
+val pp_pk : Format.formatter -> public_key -> unit

@@ -1,0 +1,130 @@
+let max_depth = 60
+
+type node =
+  | Empty (* a fully-empty subtree; hash comes from the per-level table *)
+  | Leaf of Fp.t
+  | Node of { h : Fp.t; l : node; r : node }
+
+type t = { depth : int; tree : node; occupied : int }
+
+let leaf_hash = function
+  | None -> Poseidon.hash2 Fp.zero Fp.zero
+  | Some v -> Poseidon.hash2 v Fp.one
+
+let empty_leaf_hash = leaf_hash None
+
+(* empties.(h) = hash of a fully-empty subtree of height h. *)
+let empties =
+  let a = Array.make (max_depth + 1) empty_leaf_hash in
+  for h = 1 to max_depth do
+    a.(h) <- Poseidon.hash2 a.(h - 1) a.(h - 1)
+  done;
+  a
+
+let node_hash_at height = function
+  | Empty -> empties.(height)
+  | Leaf v -> leaf_hash (Some v)
+  | Node { h; _ } -> h
+
+let create ~depth =
+  if depth < 1 || depth > max_depth then invalid_arg "Smt.create: depth";
+  { depth; tree = Empty; occupied = 0 }
+
+let depth t = t.depth
+let capacity t = 1 lsl t.depth
+let root t = node_hash_at t.depth t.tree
+let occupied t = t.occupied
+
+let check_pos t pos =
+  if pos < 0 || pos >= capacity t then invalid_arg "Smt: position out of range"
+
+let get t pos =
+  check_pos t pos;
+  let rec go node h =
+    match node with
+    | Empty -> None
+    | Leaf v -> Some v
+    | Node { l; r; _ } ->
+      if (pos lsr (h - 1)) land 1 = 0 then go l (h - 1) else go r (h - 1)
+  in
+  go t.tree t.depth
+
+let update t pos value =
+  check_pos t pos;
+  let rec go node h =
+    if h = 0 then
+      match value with Some v -> Leaf v | None -> Empty
+    else begin
+      let l, r =
+        match node with
+        | Empty -> (Empty, Empty)
+        | Node { l; r; _ } -> (l, r)
+        | Leaf _ -> assert false (* leaves only live at height 0 *)
+      in
+      let l, r =
+        if (pos lsr (h - 1)) land 1 = 0 then (go l (h - 1), r)
+        else (l, go r (h - 1))
+      in
+      match (l, r) with
+      | Empty, Empty -> Empty
+      | _ ->
+        let hl = node_hash_at (h - 1) l and hr = node_hash_at (h - 1) r in
+        Node { h = Poseidon.hash2 hl hr; l; r }
+    end
+  in
+  let was = get t pos <> None in
+  let is = value <> None in
+  let occupied = t.occupied + (if is then 1 else 0) - if was then 1 else 0 in
+  { t with tree = go t.tree t.depth; occupied }
+
+let set t pos v = update t pos (Some v)
+let remove t pos = update t pos None
+
+type proof = { position : int; siblings : Fp.t list (* leaf-to-root order *) }
+
+let prove t pos =
+  check_pos t pos;
+  let rec go node h acc =
+    if h = 0 then acc
+    else begin
+      let l, r =
+        match node with
+        | Empty -> (Empty, Empty)
+        | Node { l; r; _ } -> (l, r)
+        | Leaf _ -> assert false
+      in
+      if (pos lsr (h - 1)) land 1 = 0 then
+        go l (h - 1) (node_hash_at (h - 1) r :: acc)
+      else go r (h - 1) (node_hash_at (h - 1) l :: acc)
+    end
+  in
+  { position = pos; siblings = go t.tree t.depth [] }
+
+let proof_position p = p.position
+let proof_siblings p = p.siblings
+
+let verify ~root ~pos ~leaf ~depth proof =
+  proof.position = pos
+  && List.length proof.siblings = depth
+  &&
+  let rec go h acc = function
+    | [] -> Fp.equal acc root
+    | sib :: rest ->
+      let acc =
+        if (pos lsr h) land 1 = 0 then Poseidon.hash2 acc sib
+        else Poseidon.hash2 sib acc
+      in
+      go (h + 1) acc rest
+  in
+  go 0 (leaf_hash leaf) proof.siblings
+
+let fold t ~init ~f =
+  let rec go node h base acc =
+    match node with
+    | Empty -> acc
+    | Leaf v -> f acc base v
+    | Node { l; r; _ } ->
+      let acc = go l (h - 1) base acc in
+      go r (h - 1) (base + (1 lsl (h - 1))) acc
+  in
+  go t.tree t.depth 0 init

@@ -1,0 +1,1 @@
+lib/latus/circuits.mli: Backend Fp Hash Mst Params Proofdata Sc_state Sc_tx Utxo Zen_crypto Zen_snark Zendoo

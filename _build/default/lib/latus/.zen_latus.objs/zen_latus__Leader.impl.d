@@ -1,0 +1,1 @@
+lib/latus/leader.ml: Amount Array Hash List Mst Option Rng Utxo Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/leader.mli: Amount Hash Mst Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/mc_ref.ml: Block Forward_transfer Hash List Mainchain_withdrawal Sc_commitment String Tx Withdrawal_certificate Zen_crypto Zen_mainchain Zen_snark Zendoo

@@ -1,0 +1,1 @@
+lib/latus/mst.ml: Amount Bytes Char Hash Int Map Option Params Set Smt Utxo Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/mst.mli: Amount Bytes Fp Hash Params Smt Utxo Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/node.mli: Bytes Chain Circuits Hash Leader Mainchain_withdrawal Params Proofdata Sc_block Sc_state Sc_tx Sc_wallet Sidechain_config Tx Utxo Zen_crypto Zen_mainchain Zendoo

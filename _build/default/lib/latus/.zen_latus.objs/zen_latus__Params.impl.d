@@ -1,0 +1,1 @@
+lib/latus/params.ml:

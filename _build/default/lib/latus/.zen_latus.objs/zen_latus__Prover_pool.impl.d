@@ -1,0 +1,1 @@
+lib/latus/prover_pool.ml: Array Backend Circuits Fp List Recursive Result Rng Sc_tx Sys Zen_crypto Zen_snark

@@ -1,0 +1,1 @@
+lib/latus/prover_pool.mli: Backend Circuits Fp Recursive Rng Sc_state Sc_tx Zen_crypto Zen_snark

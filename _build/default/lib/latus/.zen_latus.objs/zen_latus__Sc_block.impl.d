@@ -1,0 +1,1 @@
+lib/latus/sc_block.ml: Format Fp Hash List Mc_ref Option Sc_tx Schnorr Sha256 String Zen_crypto

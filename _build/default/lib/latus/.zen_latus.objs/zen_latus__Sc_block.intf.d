@@ -1,0 +1,1 @@
+lib/latus/sc_block.mli: Format Fp Hash Mc_ref Sc_tx Schnorr Zen_crypto

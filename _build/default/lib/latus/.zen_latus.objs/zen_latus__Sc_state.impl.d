@@ -1,0 +1,1 @@
+lib/latus/sc_state.ml: Backward_transfer Format Fp List Mst Poseidon Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/sc_state.mli: Backward_transfer Format Fp Mst Params Zen_crypto Zendoo

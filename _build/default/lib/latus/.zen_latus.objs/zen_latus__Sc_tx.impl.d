@@ -1,0 +1,1 @@
+lib/latus/sc_tx.ml: Amount Backward_transfer Format Forward_transfer Hash List Mainchain_withdrawal Mst Proofdata Result Sc_state Schnorr String Utxo Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/sc_tx.mli: Backward_transfer Format Forward_transfer Hash Mainchain_withdrawal Sc_state Schnorr Utxo Zen_crypto Zendoo

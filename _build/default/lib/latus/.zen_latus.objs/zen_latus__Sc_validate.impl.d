@@ -1,0 +1,1 @@
+lib/latus/sc_validate.ml: Chain Epoch Fp Hash List Mc_ref Params Result Sc_block Sc_state Sc_tx Sidechain_config Zen_crypto Zen_mainchain Zendoo

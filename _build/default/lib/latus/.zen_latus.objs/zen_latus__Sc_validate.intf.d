@@ -1,0 +1,1 @@
+lib/latus/sc_validate.mli: Chain Hash Params Sc_block Sc_state Sidechain_config Zen_crypto Zen_mainchain Zendoo

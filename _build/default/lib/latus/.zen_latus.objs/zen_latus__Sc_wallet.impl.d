@@ -1,0 +1,1 @@
+lib/latus/sc_wallet.ml: Amount Backward_transfer Hash List Mst Option Printf Result Sc_state Sc_tx Schnorr Utxo Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/sc_wallet.mli: Amount Hash Sc_state Sc_tx Schnorr Utxo Zen_crypto Zendoo

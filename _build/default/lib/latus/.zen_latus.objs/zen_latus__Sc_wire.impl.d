@@ -1,0 +1,1 @@
+lib/latus/sc_wire.ml: Codec Hash Mc_ref Mc_wire Printf Sc_block Sc_commitment Sc_tx Schnorr String Utxo Wire Zen_crypto Zen_mainchain Zendoo

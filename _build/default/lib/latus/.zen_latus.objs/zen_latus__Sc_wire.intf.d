@@ -1,0 +1,1 @@
+lib/latus/sc_wire.mli: Mc_ref Sc_block Sc_tx Utxo Wire Zen_crypto

@@ -1,0 +1,1 @@
+lib/latus/utxo.ml: Amount Bytes Char Format Fp Hash Poseidon String Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/latus/utxo.mli: Amount Format Fp Hash Zen_crypto Zendoo

@@ -1,0 +1,106 @@
+open Zen_crypto
+open Zendoo
+
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+type t = {
+  params : Params.t;
+  tree : Smt.t;
+  utxos : Utxo.t Int_map.t; (* openings of occupied slots *)
+  modified : Int_set.t; (* slots written since the last snapshot *)
+}
+
+let create params =
+  {
+    params;
+    tree = Smt.create ~depth:params.mst_depth;
+    utxos = Int_map.empty;
+    modified = Int_set.empty;
+  }
+
+let depth t = t.params.mst_depth
+let root t = Smt.root t.tree
+let occupied t = Smt.occupied t.tree
+let get t pos = Int_map.find_opt pos t.utxos
+
+let find_utxo t utxo =
+  let pos = Utxo.position ~mst_depth:t.params.mst_depth utxo in
+  match get t pos with
+  | Some u when Utxo.equal u utxo -> Some pos
+  | Some _ | None -> None
+
+let insert t utxo =
+  let pos = Utxo.position ~mst_depth:t.params.mst_depth utxo in
+  match get t pos with
+  | Some _ -> Error "mst: slot collision"
+  | None ->
+    Ok
+      ( {
+          t with
+          tree = Smt.set t.tree pos (Utxo.commitment utxo);
+          utxos = Int_map.add pos utxo t.utxos;
+          modified = Int_set.add pos t.modified;
+        },
+        pos )
+
+let remove t utxo =
+  match find_utxo t utxo with
+  | None -> Error "mst: utxo not present"
+  | Some pos ->
+    Ok
+      ( {
+          t with
+          tree = Smt.remove t.tree pos;
+          utxos = Int_map.remove pos t.utxos;
+          modified = Int_set.add pos t.modified;
+        },
+        pos )
+
+let balance_of t addr =
+  Int_map.fold
+    (fun _ (u : Utxo.t) acc ->
+      if Hash.equal u.addr addr then
+        match Amount.add acc u.amount with Ok v -> v | Error _ -> acc
+      else acc)
+    t.utxos Amount.zero
+
+let utxos_of t addr =
+  Int_map.fold
+    (fun pos (u : Utxo.t) acc ->
+      if Hash.equal u.addr addr then (pos, u) :: acc else acc)
+    t.utxos []
+
+let all_utxos t = Int_map.bindings t.utxos
+
+let total_value t =
+  Int_map.fold
+    (fun _ (u : Utxo.t) acc ->
+      match Amount.add acc u.amount with Ok v -> v | Error _ -> acc)
+    t.utxos Amount.zero
+
+let prove_slot t pos = Smt.prove t.tree pos
+
+let verify_slot ~root ~pos ~utxo ~depth proof =
+  Smt.verify ~root ~pos ~leaf:(Option.map Utxo.commitment utxo) ~depth proof
+
+let modified_since_snapshot t = Int_set.elements t.modified
+
+let delta_bits t =
+  let nbytes = max 1 ((1 lsl t.params.mst_depth) / 8) in
+  let b = Bytes.make nbytes '\000' in
+  Int_set.iter
+    (fun pos ->
+      let byte = pos / 8 and bit = pos mod 8 in
+      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl bit))))
+    t.modified;
+  b
+
+let snapshot t = { t with modified = Int_set.empty }
+
+let delta_bit bits pos =
+  let byte = pos / 8 and bit = pos mod 8 in
+  byte < Bytes.length bits
+  && Char.code (Bytes.get bits byte) land (1 lsl bit) <> 0
+
+let delta_hash bits = Hash.tagged "latus.mst_delta" [ Bytes.to_string bits ]

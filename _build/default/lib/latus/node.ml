@@ -1,0 +1,439 @@
+open Zen_crypto
+open Zen_snark
+open Zen_mainchain
+open Zendoo
+
+let wcert_schema = Proofdata.[ Tdigest; Tfield; Tblob ]
+let withdrawal_schema = Proofdata.[ Tblob ]
+
+let config_for ~ledger_id ~start_block ~epoch_len ~submit_len family =
+  Sidechain_config.make ~ledger_id ~start_block ~epoch_len ~submit_len
+    ~wcert_vk:(Circuits.wcert_keys family).vk
+    ~btr_vk:(Circuits.ownership_keys family).vk
+    ~csw_vk:(Circuits.ownership_keys family).vk
+    ~wcert_proofdata:wcert_schema ~btr_proofdata:withdrawal_schema
+    ~csw_proofdata:withdrawal_schema ()
+
+type record = {
+  block : Sc_block.t;
+  state_after : Sc_state.t;
+  proofs : Recursive.transition_proof list; (* application order *)
+  wepoch : int;
+  completes_epoch : int option;
+}
+
+type epoch_archive = {
+  end_state : Sc_state.t;
+  delta : Bytes.t;
+  end_block_hash : Hash.t;
+}
+
+type t = {
+  config : Sidechain_config.t;
+  params : Params.t;
+  fam : Circuits.family;
+  rsys : Recursive.system;
+  forger : Sc_wallet.t;
+  prove : bool;
+  genesis_state : Sc_state.t;
+  schedule : Epoch.schedule;
+  mutable records : record list; (* newest first *)
+  mutable mempool : Sc_tx.t list; (* oldest first *)
+  mutable archives : (int * epoch_archive) list; (* certified epochs *)
+}
+
+let create ~config ~params ~family ~forger ?(prove = true) () =
+  match Params.validate params with
+  | Error e -> Error e
+  | Ok () ->
+    if Sc_wallet.addresses forger = [] then
+      Error "latus node: forger wallet has no keys"
+    else
+      Ok
+        {
+          config;
+          params;
+          fam = family;
+          rsys =
+            Recursive.create ~name:"latus" ~base_vks:(Circuits.base_vks family);
+          forger;
+          prove;
+          genesis_state = Sc_state.create params;
+          schedule = Epoch.of_config config;
+          records = [];
+          mempool = [];
+          archives = [];
+        }
+
+let params t = t.params
+let family t = t.fam
+let ledger_id t = t.config.ledger_id
+
+let tip_record t = match t.records with [] -> None | r :: _ -> Some r
+
+let tip_state t =
+  match tip_record t with None -> t.genesis_state | Some r -> r.state_after
+
+(* The state the next block builds on: an epoch boundary resets the
+   transient BT list and snapshots the MST delta (§5.2.1, App. A). *)
+let next_block_state t =
+  match tip_record t with
+  | None -> t.genesis_state
+  | Some r -> (
+    match r.completes_epoch with
+    | Some _ -> Sc_state.reset_epoch r.state_after
+    | None -> r.state_after)
+
+let next_block_wepoch t =
+  match tip_record t with
+  | None -> 0
+  | Some r -> (
+    match r.completes_epoch with
+    | Some e -> e + 1
+    | None -> r.wepoch)
+
+let sc_height t =
+  match tip_record t with None -> -1 | Some r -> r.block.height
+
+let mc_synced_height t =
+  let rec go = function
+    | [] -> t.config.start_block - 1
+    | r :: rest -> (
+      match List.rev r.block.mc_refs with
+      | last :: _ -> Mc_ref.height last
+      | [] -> go rest)
+  in
+  go t.records
+
+let blocks t = List.rev_map (fun r -> r.block) t.records
+
+let submit_tx t tx =
+  match Sc_tx.validate (next_block_state t) tx with
+  | Error e -> Error e
+  | Ok () ->
+    t.mempool <- t.mempool @ [ tx ];
+    Ok ()
+
+let mempool_size t = List.length t.mempool
+
+let stake_distribution t = Leader.of_mst (tip_state t).mst
+
+let epoch_randomness t =
+  match tip_record t with
+  | None -> Hash.tagged "latus.rand.genesis" [ Hash.to_raw t.config.ledger_id ]
+  | Some r -> Sc_block.hash r.block
+
+let leader_for_slot t ~slot =
+  Leader.select (stake_distribution t) ~rand:(epoch_randomness t) ~slot
+
+let ( let* ) = Result.bind
+
+(* ---- MC reorg reconciliation ---- *)
+
+(* Drop sidechain blocks whose MC references are no longer on the MC
+   best chain; their payments return to the mempool (FTTx/BTRTx are
+   rebuilt from the new MC blocks when re-referenced). *)
+let reconcile t ~mc =
+  let ref_valid r = Chain.on_best_chain mc (Mc_ref.block_hash r) in
+  let rec split_valid kept = function
+    (* records oldest-first here *)
+    | [] -> (List.rev kept, [])
+    | r :: rest ->
+      if List.for_all ref_valid r.block.mc_refs then
+        split_valid (r :: kept) rest
+      else (List.rev kept, r :: rest)
+  in
+  let oldest_first = List.rev t.records in
+  let kept, dropped = split_valid [] oldest_first in
+  if dropped <> [] then begin
+    let recovered =
+      List.concat_map
+        (fun r ->
+          List.filter
+            (function
+              | Sc_tx.Payment _ | Sc_tx.Backward_transfer_tx _ -> true
+              | Sc_tx.Forward_transfers_tx _
+              | Sc_tx.Backward_transfer_requests_tx _ -> false)
+            r.block.txs)
+        dropped
+    in
+    t.records <- List.rev kept;
+    t.mempool <- recovered @ t.mempool
+  end;
+  List.length dropped
+
+(* ---- Forging ---- *)
+
+let build_refs t ~mc =
+  let synced = mc_synced_height t in
+  let wepoch = next_block_wepoch t in
+  let epoch_end = Epoch.last_height t.schedule ~epoch:wepoch in
+  let mc_state = Chain.tip_state mc in
+  let hi = min mc_state.height epoch_end in
+  let rec go h acc =
+    if h > hi then Ok (List.rev acc)
+    else begin
+      match Chain_state.block_hash_at mc_state h with
+      | None -> Error "forge: missing mainchain block"
+      | Some bh -> (
+        match Chain.block mc bh with
+        | None -> Error "forge: mainchain block body unavailable"
+        | Some b ->
+          let* r = Mc_ref.build ~ledger_id:t.config.ledger_id b in
+          go (h + 1) (r :: acc))
+    end
+  in
+  go (max (synced + 1) t.config.start_block) []
+
+let txs_of_refs refs =
+  List.concat_map
+    (fun (r : Mc_ref.t) ->
+      let mcid = Mc_ref.block_hash r in
+      (if r.fts <> [] then
+         [ Sc_tx.Forward_transfers_tx { mcid; fts = r.fts } ]
+       else [])
+      @
+      if r.btrs <> [] then
+        [ Sc_tx.Backward_transfer_requests_tx { mcid; btrs = r.btrs } ]
+      else [])
+    refs
+
+let prove_and_apply t state tx =
+  let* steps = Sc_tx.steps state tx in
+  List.fold_left
+    (fun acc step ->
+      let* state, proofs = acc in
+      let* proofs =
+        if not t.prove then Ok proofs
+        else begin
+          let* proof, vk, s_from, s_to = Circuits.prove_step t.fam state step in
+          let* tp =
+            Recursive.of_base t.rsys ~vk ~s_from ~s_to ~extra:[||] proof
+          in
+          Ok (proofs @ [ tp ])
+        end
+      in
+      let* state = Sc_tx.apply_step state step in
+      Ok (state, proofs))
+    (Ok (state, []))
+    steps
+
+let forge t ~mc ~slot ?(enforce_leader = false) () =
+  let (_ : int) = reconcile t ~mc in
+  let* refs = build_refs t ~mc in
+  let forger_addrs = Sc_wallet.addresses t.forger in
+  let leader_ok, forger_addr =
+    if not enforce_leader then (true, List.hd forger_addrs)
+    else begin
+      match leader_for_slot t ~slot with
+      | None ->
+        (* Empty stake distribution: bootstrap — the forger wallet's
+           first key may produce blocks until stake exists. *)
+        (true, List.hd forger_addrs)
+      | Some leader ->
+        if List.exists (Hash.equal leader) forger_addrs then (true, leader)
+        else (false, List.hd forger_addrs)
+    end
+  in
+  if not leader_ok then Ok None
+  else begin
+    let mempool_txs = t.mempool in
+    if refs = [] && mempool_txs = [] then Ok None
+    else begin
+      let state0 = next_block_state t in
+      let wepoch = next_block_wepoch t in
+      let sync_txs = txs_of_refs refs in
+      (* Mempool transactions that became invalid (double spends after
+         a reorg, stale inputs) are dropped, not fatal. *)
+      let* state1, proofs1 =
+        List.fold_left
+          (fun acc tx ->
+            let* st, ps = acc in
+            let* st, ps' = prove_and_apply t st tx in
+            Ok (st, ps @ ps'))
+          (Ok (state0, []))
+          sync_txs
+      in
+      let state2, proofs2, included =
+        List.fold_left
+          (fun (st, ps, inc) tx ->
+            match prove_and_apply t st tx with
+            | Ok (st', ps') -> (st', ps @ ps', inc @ [ tx ])
+            | Error _ -> (st, ps, inc))
+          (state1, proofs1, [])
+          mempool_txs
+      in
+      let parent =
+        match tip_record t with
+        | None -> Sc_block.genesis_parent
+        | Some r -> Sc_block.hash r.block
+      in
+      let* sk =
+        match Sc_wallet.secret_for t.forger forger_addr with
+        | Some sk -> Ok sk
+        | None -> Error "forge: missing forger key"
+      in
+      let block =
+        Sc_block.forge ~parent ~height:(sc_height t + 1) ~slot ~sk ~mc_refs:refs
+          ~txs:included ~state_hash:(Sc_state.hash state2)
+      in
+      let completes_epoch =
+        match List.rev refs with
+        | [] -> None
+        | last :: _ ->
+          if Mc_ref.height last = Epoch.last_height t.schedule ~epoch:wepoch
+          then Some wepoch
+          else None
+      in
+      t.records <-
+        { block; state_after = state2; proofs = proofs2; wepoch; completes_epoch }
+        :: t.records;
+      t.mempool <-
+        List.filter
+          (fun tx -> not (List.memq tx included))
+          t.mempool;
+      Ok (Some block)
+    end
+  end
+
+(* ---- Certificates ---- *)
+
+let certified_epochs t = List.rev_map fst t.archives
+
+let next_uncertified_epoch t =
+  match t.archives with [] -> 0 | (e, _) :: _ -> e + 1
+
+let epoch_records t ~epoch =
+  List.rev (List.filter (fun r -> r.wepoch = epoch) t.records)
+
+let completing_record t ~epoch =
+  List.find_opt (fun r -> r.completes_epoch = Some epoch) t.records
+
+let epoch_start_hash t ~epoch =
+  if epoch = 0 then Sc_state.hash t.genesis_state
+  else
+    match completing_record t ~epoch:(epoch - 1) with
+    | None -> Sc_state.hash t.genesis_state
+    | Some r -> Sc_state.hash (Sc_state.reset_epoch r.state_after)
+
+let build_certificate t ~mc =
+  if not t.prove then Error "certificate: node runs with proving disabled"
+  else begin
+    let epoch = next_uncertified_epoch t in
+    match completing_record t ~epoch with
+    | None -> Ok None (* epoch not yet complete *)
+    | Some last_record ->
+      let end_state = last_record.state_after in
+      let s_prev = epoch_start_hash t ~epoch in
+      let s_last = Sc_state.hash end_state in
+      let proofs = List.concat_map (fun r -> r.proofs) (epoch_records t ~epoch) in
+      (* The §5.5.3.1 statement, checked natively before the binding
+         proof is produced (simulation oracle, DESIGN.md §3): the
+         epoch's recursive transition proof must verify and span
+         exactly (s_prev → s_last). An epoch without transitions is
+         the heartbeat case: the state must not have moved. *)
+      let* () =
+        match proofs with
+        | [] ->
+          if Fp.equal s_prev s_last then Ok ()
+          else Error "certificate: state moved without transition proofs"
+        | _ -> (
+          let* top = Recursive.fold_balanced t.rsys proofs in
+          if not (Recursive.verify t.rsys top) then
+            Error "certificate: epoch transition proof rejected"
+          else if
+            not
+              (Fp.equal (Recursive.s_from top) s_prev
+              && Fp.equal (Recursive.s_to top) s_last)
+          then Error "certificate: epoch proof endpoints mismatch"
+          else Ok ())
+      in
+      let bt_list = end_state.backward_transfers in
+      let quality = last_record.block.height in
+      let delta = Mst.delta_bits end_state.mst in
+      let proofdata =
+        Proofdata.
+          [
+            Digest (Sc_block.hash last_record.block);
+            Field (Mst.root end_state.mst);
+            Blob (Bytes.to_string delta);
+          ]
+      in
+      let mc_state = Chain.tip_state mc in
+      let resolve h =
+        if h < 0 then Some Hash.zero else Chain_state.block_hash_at mc_state h
+      in
+      let* end_prev_epoch, end_epoch =
+        match
+          ( resolve (Epoch.last_height t.schedule ~epoch:(epoch - 1)),
+            resolve (Epoch.last_height t.schedule ~epoch) )
+        with
+        | Some a, Some b -> Ok (a, b)
+        | _ -> Error "certificate: epoch boundary blocks not on MC best chain"
+      in
+      let bt_root = Backward_transfer.list_root bt_list in
+      let* proof =
+        Circuits.prove_wcert_binding t.fam ~quality ~bt_root ~end_prev_epoch
+          ~end_epoch ~proofdata ~s_prev ~s_last
+      in
+      let cert =
+        Withdrawal_certificate.make ~ledger_id:t.config.ledger_id
+          ~epoch_id:epoch ~quality ~bt_list ~proofdata ~proof
+      in
+      t.archives <-
+        ( epoch,
+          {
+            end_state;
+            delta;
+            end_block_hash = Sc_block.hash last_record.block;
+          } )
+        :: t.archives;
+      Ok (Some (Tx.Certificate cert))
+  end
+
+let state_at_epoch_end t ~epoch =
+  Option.map (fun a -> a.end_state) (List.assoc_opt epoch t.archives)
+
+let delta_for_epoch t ~epoch =
+  Option.map (fun a -> a.delta) (List.assoc_opt epoch t.archives)
+
+(* ---- Mainchain-managed withdrawals (§5.5.3.2, §5.5.3.3) ---- *)
+
+let create_withdrawal_request t ~kind ~utxo ~receiver ~reference_block
+    ?as_of_epoch () =
+  let* latest =
+    match t.archives with
+    | [] -> Error "withdrawal: no certified epoch yet"
+    | (e, _) :: _ -> Ok e
+  in
+  let epoch = Option.value as_of_epoch ~default:latest in
+  let* archive =
+    match List.assoc_opt epoch t.archives with
+    | Some a -> Ok a
+    | None -> Error "withdrawal: epoch not certified"
+  in
+  (* Appendix A: when proving against an older committed state, the
+     slot must be untouched in every later epoch's mst_delta. *)
+  let pos = Utxo.position ~mst_depth:t.params.mst_depth utxo in
+  let* () =
+    let rec check e =
+      if e > latest then Ok ()
+      else begin
+        match List.assoc_opt e t.archives with
+        | None -> Error "withdrawal: missing delta for intermediate epoch"
+        | Some a ->
+          if Mst.delta_bit a.delta pos then
+            Error "withdrawal: utxo slot was modified after the chosen epoch"
+          else check (e + 1)
+      end
+    in
+    check (epoch + 1)
+  in
+  let proofdata = [ Proofdata.Blob (Utxo.encode utxo) ] in
+  let* proof =
+    Circuits.prove_ownership t.fam ~mst:archive.end_state.mst ~utxo
+      ~reference_block ~receiver ~proofdata
+  in
+  Ok
+    (Mainchain_withdrawal.make ~kind ~ledger_id:t.config.ledger_id ~receiver
+       ~amount:utxo.amount ~nullifier:(Utxo.nullifier utxo) ~proofdata ~proof)

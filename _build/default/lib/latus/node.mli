@@ -1,0 +1,106 @@
+(** A Latus sidechain node (paper §5): follows the mainchain, forges
+    sidechain blocks with MC block references, maintains the MST state,
+    produces per-step transition proofs and recursively composes them,
+    and emits withdrawal certificates at epoch boundaries.
+
+    The node observes the mainchain directly (the parent-child model of
+    §3): it reads a {!Zen_mainchain.Chain.t} and reacts to its best
+    chain, including rollback of sidechain blocks whose MC references
+    were reorged away (§5.1 property 2). *)
+
+open Zen_crypto
+open Zen_mainchain
+open Zendoo
+
+type t
+
+val wcert_schema : Proofdata.schema
+(** Latus WCert proofdata: [H(SB_last); MST root; mst_delta]
+    (§5.5.3.1). *)
+
+val withdrawal_schema : Proofdata.schema
+(** Latus BTR/CSW proofdata: the claimed UTXO (§5.5.3.2). *)
+
+val config_for :
+  ledger_id:Hash.t ->
+  start_block:int ->
+  epoch_len:int ->
+  submit_len:int ->
+  Circuits.family ->
+  (Sidechain_config.t, string) result
+(** The mainchain registration record for a Latus sidechain using this
+    circuit family. *)
+
+val create :
+  config:Sidechain_config.t ->
+  params:Params.t ->
+  family:Circuits.family ->
+  forger:Sc_wallet.t ->
+  ?prove:bool ->
+  unit ->
+  (t, string) result
+(** [prove:false] skips SNARK generation (consensus-only experiments);
+    such a node cannot emit certificates. The forger wallet must hold
+    at least one key. *)
+
+val params : t -> Params.t
+val family : t -> Circuits.family
+val ledger_id : t -> Hash.t
+
+val tip_state : t -> Sc_state.t
+(** State after the last forged block (before any epoch reset). *)
+
+val next_block_state : t -> Sc_state.t
+(** State the next block will build on (epoch reset applied). *)
+
+val sc_height : t -> int
+val mc_synced_height : t -> int
+val blocks : t -> Sc_block.t list
+(** Oldest first. *)
+
+val submit_tx : t -> Sc_tx.t -> (unit, string) result
+(** Validates against the current state and queues the transaction. *)
+
+val mempool_size : t -> int
+
+val forge :
+  t ->
+  mc:Chain.t ->
+  slot:int ->
+  ?enforce_leader:bool ->
+  unit ->
+  (Sc_block.t option, string) result
+(** One forging round: first reconciles with the MC best chain
+    (rolling back sidechain blocks whose references were reorged
+    away), then forges a block carrying any new MC references (clipped
+    at the withdrawal-epoch boundary) and pending transactions.
+    Returns [None] when there is nothing to include or, with
+    [enforce_leader], when the forger does not lead this slot. *)
+
+val build_certificate : t -> mc:Chain.t -> (Tx.t option, string) result
+(** Builds the withdrawal certificate for the earliest completed,
+    not-yet-certified epoch: recursively composes the epoch's
+    transition proofs, checks the §5.5.3.1 statement natively, and
+    wraps it for mainchain submission. [None] when no epoch is ready. *)
+
+val certified_epochs : t -> int list
+val state_at_epoch_end : t -> epoch:int -> Sc_state.t option
+val delta_for_epoch : t -> epoch:int -> Bytes.t option
+(** The mst_delta committed by this epoch's certificate. *)
+
+val create_withdrawal_request :
+  t ->
+  kind:Mainchain_withdrawal.kind ->
+  utxo:Utxo.t ->
+  receiver:Hash.t ->
+  reference_block:Hash.t ->
+  ?as_of_epoch:int ->
+  unit ->
+  (Mainchain_withdrawal.t, string) result
+(** Builds a BTR or CSW for [utxo] against the committed state of
+    [as_of_epoch] (default: the latest certified epoch). When an older
+    epoch is used, the node first replays the mst_delta chain
+    (Appendix A) to confirm the slot was never touched since. *)
+
+val stake_distribution : t -> Leader.distribution
+val leader_for_slot : t -> slot:int -> Hash.t option

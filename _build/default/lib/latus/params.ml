@@ -1,0 +1,11 @@
+type t = { mst_depth : int; slots_per_epoch : int; slot_duration : int }
+
+let default = { mst_depth = 12; slots_per_epoch = 24; slot_duration = 1 }
+
+let validate t =
+  if t.mst_depth < 2 || t.mst_depth > 32 then
+    Error "latus params: mst_depth out of [2, 32]"
+  else if t.slots_per_epoch < 1 then
+    Error "latus params: slots_per_epoch < 1"
+  else if t.slot_duration < 1 then Error "latus params: slot_duration < 1"
+  else Ok ()

@@ -1,0 +1,18 @@
+(** Latus sidechain parameters (paper §5).
+
+    [mst_depth] bounds the UTXO population to 2^depth slots (§5.2);
+    [slots_per_epoch] and [slot_duration] shape the Ouroboros-style
+    consensus (§5.1). Consensus epochs are independent of withdrawal
+    epochs, which come from the {!Zendoo.Sidechain_config}. *)
+
+type t = {
+  mst_depth : int;
+  slots_per_epoch : int;
+  slot_duration : int;  (** in simulation time units *)
+}
+
+val default : t
+(** mst_depth 12 (4096 UTXO slots — ample for tests, cheap to prove),
+    24 slots per consensus epoch, 1 time unit per slot. *)
+
+val validate : t -> (unit, string) result

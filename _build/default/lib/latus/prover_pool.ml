@@ -1,0 +1,97 @@
+open Zen_crypto
+open Zen_snark
+
+type task_proof = {
+  index : int;
+  worker : int;
+  proof : Backend.proof;
+  vk : Backend.verification_key;
+  s_from : Fp.t;
+  s_to : Fp.t;
+  cpu_seconds : float;
+}
+
+type stats = {
+  tasks : int;
+  workers : int;
+  total_cpu : float;
+  makespan : float;
+  speedup : float;
+  rewards : (int * int) list;
+}
+
+let dispatch ~rng ~workers ~tasks =
+  if workers <= 0 then invalid_arg "Prover_pool.dispatch: no workers";
+  Array.init tasks (fun _ -> Rng.int rng workers)
+
+let ( let* ) = Result.bind
+
+(* Capture the state snapshot before each step: after this, every
+   proving task is independent of the others. *)
+let snapshots initial steps =
+  List.fold_left
+    (fun acc step ->
+      let* state, out = acc in
+      let* state' = Sc_tx.apply_step state step in
+      Ok (state', (state, step) :: out))
+    (Ok (initial, []))
+    steps
+  |> Result.map (fun (_, out) -> List.rev out)
+
+let prove_epoch family ~initial ~steps ~workers ~seed =
+  let rng = Rng.create seed in
+  let assignment = dispatch ~rng ~workers ~tasks:(List.length steps) in
+  let* snaps = snapshots initial steps in
+  let* proofs_rev =
+    List.fold_left
+      (fun acc (index, (state, step)) ->
+        let* out = acc in
+        let t0 = Sys.time () in
+        let* proof, vk, s_from, s_to = Circuits.prove_step family state step in
+        let cpu_seconds = Sys.time () -. t0 in
+        (* A dishonest worker's submission would fail here and earn
+           nothing; in this in-process pool all workers are honest. *)
+        let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
+        if not (Backend.verify vk ~public proof) then
+          Error "prover pool: worker submitted an invalid proof"
+        else
+          Ok
+            ({ index; worker = assignment.(index); proof; vk; s_from; s_to; cpu_seconds }
+            :: out))
+      (Ok [])
+      (List.mapi (fun i snap -> (i, snap)) snaps)
+  in
+  let proofs = List.rev proofs_rev in
+  let per_worker = Array.make workers 0.0 in
+  let rewards = Array.make workers 0 in
+  List.iter
+    (fun tp ->
+      per_worker.(tp.worker) <- per_worker.(tp.worker) +. tp.cpu_seconds;
+      rewards.(tp.worker) <- rewards.(tp.worker) + 1)
+    proofs;
+  let total_cpu = Array.fold_left ( +. ) 0.0 per_worker in
+  let makespan = Array.fold_left max 0.0 per_worker in
+  Ok
+    ( proofs,
+      {
+        tasks = List.length proofs;
+        workers;
+        total_cpu;
+        makespan;
+        speedup = (if makespan > 0.0 then total_cpu /. makespan else 1.0);
+        rewards = Array.to_list rewards |> List.mapi (fun i r -> (i, r));
+      } )
+
+let merge_all _family rsys proofs =
+  let* transitions =
+    List.fold_left
+      (fun acc tp ->
+        let* out = acc in
+        let* t =
+          Recursive.of_base rsys ~vk:tp.vk ~s_from:tp.s_from ~s_to:tp.s_to
+            ~extra:[||] tp.proof
+        in
+        Ok (t :: out))
+      (Ok []) proofs
+  in
+  Recursive.fold_balanced rsys (List.rev transitions)

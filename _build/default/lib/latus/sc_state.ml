@@ -1,0 +1,38 @@
+open Zen_crypto
+open Zendoo
+
+type t = {
+  mst : Mst.t;
+  backward_transfers : Backward_transfer.t list;
+  bt_acc : Fp.t;
+}
+
+let create params =
+  { mst = Mst.create params; backward_transfers = []; bt_acc = Fp.zero }
+
+let hash t = Poseidon.hash2 (Mst.root t.mst) t.bt_acc
+
+let bt_acc_step acc (bt : Backward_transfer.t) =
+  let recv, amt = Backward_transfer.to_fp_pair bt in
+  Poseidon.hash2 acc (Poseidon.hash2 recv amt)
+
+let append_bt t bt =
+  {
+    t with
+    backward_transfers = t.backward_transfers @ [ bt ];
+    bt_acc = bt_acc_step t.bt_acc bt;
+  }
+
+let reset_epoch t =
+  {
+    mst = Mst.snapshot t.mst;
+    backward_transfers = [];
+    bt_acc = Fp.zero;
+  }
+
+let with_mst t mst = { t with mst }
+
+let pp fmt t =
+  Format.fprintf fmt "state(mst=%a, %d utxos, %d bts)" Fp.pp (Mst.root t.mst)
+    (Mst.occupied t.mst)
+    (List.length t.backward_transfers)

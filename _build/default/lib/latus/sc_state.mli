@@ -1,0 +1,34 @@
+(** The Latus system state (paper §5.2.1):
+    [state = (MST, backward_transfers)].
+
+    [backward_transfers] is the transient list accumulated over the
+    current withdrawal epoch, mirrored by a Poseidon accumulator so the
+    state hash — the public input of every transition proof — is a
+    single field element: [H(mst_root, bt_acc)]. *)
+
+open Zen_crypto
+open Zendoo
+
+type t = {
+  mst : Mst.t;
+  backward_transfers : Backward_transfer.t list;  (** oldest first *)
+  bt_acc : Fp.t;  (** Poseidon accumulator over [backward_transfers] *)
+}
+
+val create : Params.t -> t
+
+val hash : t -> Fp.t
+(** [s_i] of §5.4: what base and merge proofs bind. *)
+
+val append_bt : t -> Backward_transfer.t -> t
+
+val bt_acc_step : Fp.t -> Backward_transfer.t -> Fp.t
+(** One accumulator step — replayed in-circuit by the BT gadgets. *)
+
+val reset_epoch : t -> t
+(** New withdrawal epoch: clears the BT list and accumulator and takes
+    an MST delta snapshot (Appendix A). *)
+
+val with_mst : t -> Mst.t -> t
+
+val pp : Format.formatter -> t -> unit

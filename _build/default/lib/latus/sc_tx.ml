@@ -1,0 +1,279 @@
+open Zen_crypto
+open Zendoo
+
+type payment = {
+  inputs : Utxo.t list;
+  witnesses : (Schnorr.public_key * Schnorr.signature) list;
+  outputs : Utxo.t list;
+}
+
+type backward = {
+  bt_input : Utxo.t;
+  bt_witness : Schnorr.public_key * Schnorr.signature;
+  bt : Backward_transfer.t;
+}
+
+type t =
+  | Payment of payment
+  | Forward_transfers_tx of { mcid : Hash.t; fts : Forward_transfer.t list }
+  | Backward_transfer_tx of backward
+  | Backward_transfer_requests_tx of {
+      mcid : Hash.t;
+      btrs : Mainchain_withdrawal.t list;
+    }
+
+let txid = function
+  | Payment { inputs; outputs; _ } ->
+    Hash.tagged "latus.tx.pay"
+      (List.map Utxo.encode inputs @ List.map Utxo.encode outputs)
+  | Forward_transfers_tx { mcid; fts } ->
+    Hash.tagged "latus.tx.ft"
+      (Hash.to_raw mcid :: List.map Forward_transfer.encode fts)
+  | Backward_transfer_tx { bt_input; bt; _ } ->
+    Hash.tagged "latus.tx.bt"
+      [ Utxo.encode bt_input; Backward_transfer.encode bt ]
+  | Backward_transfer_requests_tx { mcid; btrs } ->
+    Hash.tagged "latus.tx.btr"
+      (Hash.to_raw mcid
+      :: List.map (fun b -> Hash.to_raw (Mainchain_withdrawal.hash b)) btrs)
+
+let payment_seed inputs =
+  Hash.tagged "latus.pay.seed" (List.map Utxo.encode inputs)
+
+let output_nonce ~seed ~index = Utxo.derive_nonce ~source:seed ~index
+
+let payment_sighash ~inputs ~outputs =
+  Hash.tagged "latus.pay.sighash"
+    (List.map Utxo.encode inputs @ List.map Utxo.encode outputs)
+
+let bt_sighash ~input ~bt =
+  Hash.tagged "latus.bt.sighash"
+    [ Utxo.encode input; Backward_transfer.encode bt ]
+
+let ft_metadata ~receiver ~payback = Hash.to_raw receiver ^ Hash.to_raw payback
+
+let parse_ft_metadata s =
+  if String.length s <> 64 then None
+  else
+    Some (Hash.of_raw (String.sub s 0 32), Hash.of_raw (String.sub s 32 32))
+
+type ft_outcome =
+  | Ft_accepted of Utxo.t
+  | Ft_rejected of Backward_transfer.t
+
+(* A rejected FT with unparseable metadata still needs a payback
+   target; the zero address burns the coins on the mainchain side,
+   which is the strictest safe interpretation. *)
+let ft_outcome (state : Sc_state.t) (ft : Forward_transfer.t) =
+  match parse_ft_metadata ft.receiver_metadata with
+  | None ->
+    Ft_rejected
+      (Backward_transfer.make ~receiver_addr:Hash.zero ~amount:ft.amount)
+  | Some (receiver, payback) ->
+    let nonce =
+      Utxo.derive_nonce ~source:(Forward_transfer.hash ft) ~index:0
+    in
+    let utxo = Utxo.make ~addr:receiver ~amount:ft.amount ~nonce in
+    let pos = Utxo.position ~mst_depth:(Mst.depth state.mst) utxo in
+    (match Mst.get state.mst pos with
+    | Some _ ->
+      Ft_rejected (Backward_transfer.make ~receiver_addr:payback ~amount:ft.amount)
+    | None -> Ft_accepted utxo)
+
+type btr_outcome =
+  | Btr_accepted of Utxo.t * Backward_transfer.t
+  | Btr_skipped of string
+
+let btr_outcome (state : Sc_state.t) (btr : Mainchain_withdrawal.t) =
+  match btr.proofdata with
+  | [ Proofdata.Blob blob ] -> (
+    match Utxo.decode blob with
+    | None -> Btr_skipped "btr: undecodable utxo"
+    | Some utxo ->
+      if not (Amount.equal utxo.amount btr.amount) then
+        Btr_skipped "btr: amount mismatch"
+      else if Mst.find_utxo state.mst utxo = None then
+        Btr_skipped "btr: utxo not in current state"
+      else
+        Btr_accepted
+          ( utxo,
+            Backward_transfer.make ~receiver_addr:btr.receiver
+              ~amount:btr.amount ))
+  | _ -> Btr_skipped "btr: unexpected proofdata shape"
+
+let ( let* ) = Result.bind
+
+let check_witness ~sighash (utxo : Utxo.t) (pk, signature) =
+  if not (Hash.equal (Schnorr.pk_hash pk) utxo.addr) then
+    Error "sc tx: key does not own the input"
+  else if not (Schnorr.verify pk (Hash.to_raw sighash) signature) then
+    Error "sc tx: invalid signature"
+  else Ok ()
+
+let validate_payment (state : Sc_state.t) (p : payment) =
+  let n_in = List.length p.inputs and n_out = List.length p.outputs in
+  let* () =
+    if n_in >= 1 && n_in <= 2 && n_out >= 1 && n_out <= 2 then Ok ()
+    else Error "payment: arity must be 1-2 inputs and 1-2 outputs"
+  in
+  let* () =
+    if List.length p.witnesses = n_in then Ok ()
+    else Error "payment: one witness per input required"
+  in
+  (* Distinct inputs, all present in the MST. *)
+  let* () =
+    match p.inputs with
+    | [ a; b ] when Utxo.equal a b -> Error "payment: duplicate input"
+    | _ -> Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc u ->
+        let* () = acc in
+        if Mst.find_utxo state.mst u = None then
+          Error "payment: input not in state"
+        else Ok ())
+      (Ok ()) p.inputs
+  in
+  let sighash = payment_sighash ~inputs:p.inputs ~outputs:p.outputs in
+  let* () =
+    List.fold_left2
+      (fun acc u w ->
+        let* () = acc in
+        check_witness ~sighash u w)
+      (Ok ()) p.inputs p.witnesses
+  in
+  (* Nonce discipline binds fresh outputs to the spent inputs. *)
+  let seed = payment_seed p.inputs in
+  let* () =
+    List.fold_left
+      (fun (acc, i) (u : Utxo.t) ->
+        ( (let* () = acc in
+           if Hash.equal u.nonce (output_nonce ~seed ~index:i) then Ok ()
+           else Error "payment: output nonce not derived from inputs"),
+          i + 1 ))
+      (Ok (), 0) p.outputs
+    |> fst
+  in
+  let* value_in =
+    Amount.sum (List.map (fun (u : Utxo.t) -> u.amount) p.inputs)
+  in
+  let* value_out =
+    Amount.sum (List.map (fun (u : Utxo.t) -> u.amount) p.outputs)
+  in
+  let* () =
+    if Amount.( <= ) value_out value_in then Ok ()
+    else Error "payment: outputs exceed inputs"
+  in
+  (* Outputs must land in free, pairwise-distinct slots once inputs
+     are removed; checked by trial application in [steps]. *)
+  Ok ()
+
+let validate_bt (state : Sc_state.t) (b : backward) =
+  let* () =
+    if Mst.find_utxo state.mst b.bt_input = None then
+      Error "bt: input not in state"
+    else Ok ()
+  in
+  let* () =
+    if Amount.equal b.bt.amount b.bt_input.amount then Ok ()
+    else Error "bt: amount must equal the spent utxo"
+  in
+  check_witness
+    ~sighash:(bt_sighash ~input:b.bt_input ~bt:b.bt)
+    b.bt_input b.bt_witness
+
+type step =
+  | Remove of Utxo.t
+  | Insert of Utxo.t
+  | Append_bt of Backward_transfer.t
+
+let apply_step (state : Sc_state.t) = function
+  | Remove u ->
+    let* mst, _ = Mst.remove state.mst u in
+    Ok (Sc_state.with_mst state mst)
+  | Insert u ->
+    let* mst, _ = Mst.insert state.mst u in
+    Ok (Sc_state.with_mst state mst)
+  | Append_bt bt -> Ok (Sc_state.append_bt state bt)
+
+let steps_of_valid (state : Sc_state.t) tx =
+  match tx with
+  | Payment p ->
+    List.map (fun u -> Remove u) p.inputs
+    @ List.map (fun u -> Insert u) p.outputs
+  | Backward_transfer_tx b -> [ Remove b.bt_input; Append_bt b.bt ]
+  | Forward_transfers_tx { fts; _ } ->
+    (* Outcomes depend on the evolving state (slot collisions between
+       FTs of the same transaction), so fold with trial application. *)
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, st) ft ->
+              match ft_outcome st ft with
+              | Ft_accepted u -> (
+                match apply_step st (Insert u) with
+                | Ok st' -> (Insert u :: acc, st')
+                | Error _ ->
+                  (* unreachable: outcome said the slot is free *)
+                  (acc, st))
+              | Ft_rejected bt -> (
+                match apply_step st (Append_bt bt) with
+                | Ok st' -> (Append_bt bt :: acc, st')
+                | Error _ -> (acc, st)))
+            ([], state) fts))
+  | Backward_transfer_requests_tx { btrs; _ } ->
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, st) btr ->
+              match btr_outcome st btr with
+              | Btr_skipped _ -> (acc, st)
+              | Btr_accepted (u, bt) -> (
+                match apply_step st (Remove u) with
+                | Ok st1 -> (
+                  match apply_step st1 (Append_bt bt) with
+                  | Ok st2 -> (Append_bt bt :: Remove u :: acc, st2)
+                  | Error _ -> (acc, st))
+                | Error _ -> (acc, st)))
+            ([], state) btrs))
+
+let validate state tx =
+  match tx with
+  | Payment p ->
+    let* () = validate_payment state p in
+    (* Trial-apply to catch slot collisions among outputs. *)
+    List.fold_left
+      (fun acc step ->
+        let* st = acc in
+        apply_step st step)
+      (Ok state) (steps_of_valid state tx)
+    |> Result.map (fun (_ : Sc_state.t) -> ())
+  | Backward_transfer_tx b -> validate_bt state b
+  | Forward_transfers_tx _ | Backward_transfer_requests_tx _ ->
+    (* MC-defined transactions: outcomes are computed, not validated;
+       consistency with the MC block is checked by Mc_ref. *)
+    Ok ()
+
+let steps state tx =
+  let* () = validate state tx in
+  Ok (steps_of_valid state tx)
+
+let apply state tx =
+  let* sts = steps state tx in
+  List.fold_left
+    (fun acc step ->
+      let* st = acc in
+      apply_step st step)
+    (Ok state) sts
+
+let pp fmt = function
+  | Payment p ->
+    Format.fprintf fmt "PTx(%d in, %d out)" (List.length p.inputs)
+      (List.length p.outputs)
+  | Forward_transfers_tx { fts; _ } ->
+    Format.fprintf fmt "FTTx(%d fts)" (List.length fts)
+  | Backward_transfer_tx b ->
+    Format.fprintf fmt "BTTx(%a)" Backward_transfer.pp b.bt
+  | Backward_transfer_requests_tx { btrs; _ } ->
+    Format.fprintf fmt "BTRTx(%d btrs)" (List.length btrs)

@@ -1,0 +1,107 @@
+open Zen_crypto
+open Zendoo
+
+type key = { sk : Schnorr.secret_key; pk : Schnorr.public_key; addr : Hash.t }
+
+type t = { seed : string; mutable keys : key list; mutable next : int }
+
+let create ~seed = { seed; keys = []; next = 0 }
+
+let fresh_address t =
+  let sk, pk = Schnorr.of_seed (Printf.sprintf "latus.%s.%d" t.seed t.next) in
+  let key = { sk; pk; addr = Schnorr.pk_hash pk } in
+  t.keys <- key :: t.keys;
+  t.next <- t.next + 1;
+  key.addr
+
+let addresses t = List.rev_map (fun k -> k.addr) t.keys
+let key_for t addr = List.find_opt (fun k -> Hash.equal k.addr addr) t.keys
+let owns t addr = key_for t addr <> None
+
+let utxos t (state : Sc_state.t) =
+  List.concat_map
+    (fun k -> List.map snd (Mst.utxos_of state.mst k.addr))
+    t.keys
+  |> List.sort (fun (a : Utxo.t) (b : Utxo.t) ->
+         Amount.compare b.amount a.amount)
+
+let balance t state =
+  List.fold_left
+    (fun acc (u : Utxo.t) ->
+      match Amount.add acc u.amount with Ok v -> v | Error _ -> acc)
+    Amount.zero (utxos t state)
+
+let sign_request t ~addr ~msg =
+  Option.map (fun k -> (k.pk, Schnorr.sign k.sk msg)) (key_for t addr)
+
+let secret_for t addr = Option.map (fun k -> k.sk) (key_for t addr)
+
+let ( let* ) = Result.bind
+
+(* Pick at most two coins covering the target (largest-first greedy). *)
+let select_inputs t state amount =
+  match utxos t state with
+  | [] -> Error "sc wallet: no funds"
+  | (first :: rest) as all ->
+    if Amount.( <= ) amount first.amount then Ok [ first ]
+    else begin
+      (* Try to complete with a second coin. *)
+      let missing =
+        match Amount.sub amount first.amount with
+        | Ok m -> m
+        | Error _ -> Amount.zero
+      in
+      match
+        List.find_opt (fun (u : Utxo.t) -> Amount.( <= ) missing u.amount) rest
+      with
+      | Some second -> Ok [ first; second ]
+      | None ->
+        ignore all;
+        Error "sc wallet: amount not coverable by two inputs"
+    end
+
+let build_payment t (state : Sc_state.t) ~to_ ~amount =
+  let* inputs = select_inputs t state amount in
+  let* total =
+    Amount.sum (List.map (fun (u : Utxo.t) -> u.amount) inputs)
+  in
+  let* change = Amount.sub total amount in
+  let seed = Sc_tx.payment_seed inputs in
+  let out0 =
+    Utxo.make ~addr:to_ ~amount ~nonce:(Sc_tx.output_nonce ~seed ~index:0)
+  in
+  let outputs =
+    if Amount.is_zero change then [ out0 ]
+    else begin
+      let change_addr =
+        match t.keys with k :: _ -> k.addr | [] -> assert false
+      in
+      [
+        out0;
+        Utxo.make ~addr:change_addr ~amount:change
+          ~nonce:(Sc_tx.output_nonce ~seed ~index:1);
+      ]
+    end
+  in
+  let sighash = Sc_tx.payment_sighash ~inputs ~outputs in
+  let* witnesses =
+    List.fold_left
+      (fun acc (u : Utxo.t) ->
+        let* ws = acc in
+        match sign_request t ~addr:u.addr ~msg:(Hash.to_raw sighash) with
+        | None -> Error "sc wallet: missing key"
+        | Some w -> Ok (ws @ [ w ]))
+      (Ok []) inputs
+  in
+  Ok (Sc_tx.Payment { inputs; witnesses; outputs })
+
+let build_backward_transfer t (_state : Sc_state.t) ~utxo ~mc_receiver =
+  let bt =
+    Backward_transfer.make ~receiver_addr:mc_receiver
+      ~amount:utxo.Utxo.amount
+  in
+  let sighash = Sc_tx.bt_sighash ~input:utxo ~bt in
+  match sign_request t ~addr:utxo.Utxo.addr ~msg:(Hash.to_raw sighash) with
+  | None -> Error "sc wallet: not our utxo"
+  | Some w ->
+    Ok (Sc_tx.Backward_transfer_tx { bt_input = utxo; bt_witness = w; bt })

@@ -1,0 +1,1 @@
+lib/mainchain/block.ml: Format Forward_transfer Hash List Mainchain_withdrawal Merkle Option Pow Result Sc_commitment Tx Withdrawal_certificate Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/block.mli: Format Hash Pow Sc_commitment Tx Zen_crypto Zendoo

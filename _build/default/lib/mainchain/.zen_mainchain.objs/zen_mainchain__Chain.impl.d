@@ -1,0 +1,1 @@
+lib/mainchain/chain.ml: Block Chain_state Hash Option Pow Zen_crypto

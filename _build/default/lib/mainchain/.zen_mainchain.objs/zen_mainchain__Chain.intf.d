@@ -1,0 +1,1 @@
+lib/mainchain/chain.mli: Block Chain_state Hash Zen_crypto

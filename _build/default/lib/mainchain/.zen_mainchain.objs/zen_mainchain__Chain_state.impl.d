@@ -1,0 +1,1 @@
+lib/mainchain/chain_state.ml: Amount Backward_transfer Block Epoch Hash List Mainchain_withdrawal Option Pow Result Sc_ledger Schnorr Tx Utxo_set Zen_crypto Zendoo

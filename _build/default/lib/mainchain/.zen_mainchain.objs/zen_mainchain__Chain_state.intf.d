@@ -1,0 +1,1 @@
+lib/mainchain/chain_state.mli: Amount Block Hash Pow Sc_ledger Tx Utxo_set Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/mc_wire.ml: Block Codec Printf Schnorr String Tx Wire Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/mc_wire.mli: Block Tx Zen_crypto

@@ -1,0 +1,1 @@
+lib/mainchain/mempool.ml: Block Hash List Tx Zen_crypto

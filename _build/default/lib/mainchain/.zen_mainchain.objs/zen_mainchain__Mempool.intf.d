@@ -1,0 +1,1 @@
+lib/mainchain/mempool.mli: Block Hash Tx Zen_crypto

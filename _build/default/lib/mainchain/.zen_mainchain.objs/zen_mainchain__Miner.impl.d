@@ -1,0 +1,1 @@
+lib/mainchain/miner.ml: Amount Block Chain Chain_state Hash List Tx Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/miner.mli: Amount Block Chain Hash Tx Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/pow.ml: Char Hash String Zen_crypto

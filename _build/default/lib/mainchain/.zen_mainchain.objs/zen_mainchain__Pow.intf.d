@@ -1,0 +1,1 @@
+lib/mainchain/pow.mli: Hash Zen_crypto

@@ -1,0 +1,1 @@
+lib/mainchain/sc_ledger.ml: Amount Epoch Forward_transfer Hash List Mainchain_withdrawal Option Result Sidechain_config String Verifier Withdrawal_certificate Zen_crypto Zendoo

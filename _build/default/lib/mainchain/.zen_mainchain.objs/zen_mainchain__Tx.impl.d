@@ -1,0 +1,1 @@
+lib/mainchain/tx.ml: Amount Format Forward_transfer Hash List Mainchain_withdrawal Printf Schnorr Sidechain_config Withdrawal_certificate Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/tx.mli: Amount Format Forward_transfer Hash Mainchain_withdrawal Schnorr Sidechain_config Withdrawal_certificate Zen_crypto Zendoo

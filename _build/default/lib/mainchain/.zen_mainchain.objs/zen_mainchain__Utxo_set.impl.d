@@ -1,0 +1,1 @@
+lib/mainchain/utxo_set.ml: Amount Hash Map Option String Tx Zen_crypto Zendoo

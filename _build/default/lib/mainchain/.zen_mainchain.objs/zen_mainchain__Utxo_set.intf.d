@@ -1,0 +1,1 @@
+lib/mainchain/utxo_set.mli: Amount Hash Tx Zen_crypto Zendoo

@@ -1,0 +1,1 @@
+lib/mainchain/wallet.ml: Amount Chain_state Forward_transfer Hash List Option Printf Result Schnorr Tx Utxo_set Zen_crypto Zendoo

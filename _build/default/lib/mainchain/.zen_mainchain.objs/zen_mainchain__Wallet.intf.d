@@ -1,0 +1,1 @@
+lib/mainchain/wallet.mli: Amount Chain_state Hash Schnorr Tx Zen_crypto Zendoo

@@ -1,0 +1,44 @@
+(** Mainchain blocks: header with transaction root and the
+    SCTxsCommitment (paper §4.1.3), plus the transaction body. *)
+
+open Zen_crypto
+open Zendoo
+
+type header = {
+  prev : Hash.t;
+  height : int;
+  time : int;
+  nonce : int;
+  tx_root : Hash.t;
+  sc_txs_commitment : Hash.t;
+}
+
+type t = { header : header; txs : Tx.t list }
+
+val header_hash : header -> Hash.t
+val hash : t -> Hash.t
+
+val tx_root : Tx.t list -> Hash.t
+
+val sc_commitment_of_txs : Tx.t list -> (Sc_commitment.t, string) result
+(** Groups the block's sidechain actions (FT outputs, BTRs, at most one
+    certificate per sidechain; CSWs excluded per §4.1.3) into the
+    commitment structure. *)
+
+val assemble :
+  prev:Hash.t ->
+  height:int ->
+  time:int ->
+  txs:Tx.t list ->
+  pow:Pow.params ->
+  (t, string) result
+(** Computes roots, mines the nonce, returns the sealed block. *)
+
+val genesis : time:int -> t
+(** The fixed genesis block (empty, zero parent). *)
+
+val validate_structure : pow:Pow.params -> t -> (unit, string) result
+(** Context-free checks: PoW, tx root, commitment root, exactly one
+    leading coinbase, at most one certificate per sidechain. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,256 @@
+open Zen_crypto
+open Zendoo
+
+type params = {
+  pow : Pow.params;
+  subsidy : Amount.t;
+  coinbase_maturity : int;
+}
+
+let default_params =
+  {
+    pow = Pow.default;
+    subsidy = Amount.of_int_exn 5_000_000_000;
+    coinbase_maturity = 2;
+  }
+
+type t = {
+  params : params;
+  height : int;
+  tip_hash : Hash.t;
+  time : int;
+  utxos : Utxo_set.t;
+  scs : Sc_ledger.t;
+  hash_by_height : Hash.t list;
+}
+
+let of_genesis params (g : Block.t) =
+  {
+    params;
+    height = 0;
+    tip_hash = Block.hash g;
+    time = g.header.time;
+    utxos = Utxo_set.empty;
+    scs = Sc_ledger.empty;
+    hash_by_height = [ Block.hash g ];
+  }
+
+let block_hash_at t h =
+  if h < 0 || h > t.height then None
+  else List.nth_opt t.hash_by_height (t.height - h)
+
+let spendable t outpoint ~at_height =
+  match Utxo_set.find t.utxos outpoint with
+  | Some coin when at_height > coin.spendable_after -> Some coin
+  | Some _ | None -> None
+
+let sc_balance t id = Sc_ledger.balance t.scs id
+let circulating t = Utxo_set.total_value t.utxos
+
+let ( let* ) = Result.bind
+
+let check_input t ~height ~sighash (input : Tx.input) =
+  let* coin =
+    match spendable t input.outpoint ~at_height:height with
+    | Some c -> Ok c
+    | None -> Error "tx: input missing, spent, or immature"
+  in
+  let* () =
+    if Hash.equal (Schnorr.pk_hash input.pk) coin.addr then Ok ()
+    else Error "tx: key does not own the spent output"
+  in
+  if Schnorr.verify input.pk (Hash.to_raw sighash) input.signature then Ok coin
+  else Error "tx: invalid signature"
+
+let distinct_outpoints inputs =
+  let rec go seen = function
+    | [] -> true
+    | (i : Tx.input) :: rest ->
+      let k = Tx.outpoint_encode i.outpoint in
+      if List.mem k seen then false else go (k :: seen) rest
+  in
+  go [] inputs
+
+let add_outputs utxos ~txid ~spendable_after outputs =
+  List.fold_left
+    (fun (utxos, vout) output ->
+      match output with
+      | Tx.Ft _ -> (utxos, vout + 1) (* unspendable: coins are destroyed *)
+      | Tx.Coin { addr; amount } ->
+        ( Utxo_set.add utxos { Tx.txid; vout }
+            { Utxo_set.addr; amount; spendable_after },
+          vout + 1 ))
+    (utxos, 0) outputs
+  |> fst
+
+(* Outpoints of the coin payouts a certificate created, for claw-back
+   when a higher-quality certificate replaces it within the window. *)
+let cert_payout_outpoints (record : Sc_ledger.cert_record) =
+  let txid = Tx.txid (Tx.Certificate record.cert) in
+  List.mapi (fun i (_ : Backward_transfer.t) -> { Tx.txid; vout = i })
+    record.cert.bt_list
+
+let apply_tx t ~height ~block_hash tx =
+  match tx with
+  | Tx.Coinbase _ -> Error "tx: coinbase outside block context"
+  | Tx.Transfer { inputs; outputs } ->
+    let* () =
+      if inputs = [] then Error "tx: transfer without inputs" else Ok ()
+    in
+    let* () =
+      if distinct_outpoints inputs then Ok ()
+      else Error "tx: duplicate input"
+    in
+    let sighash =
+      Tx.sighash ~inputs:(List.map (fun (i : Tx.input) -> i.outpoint) inputs) ~outputs
+    in
+    let* coins =
+      List.fold_left
+        (fun acc input ->
+          let* cs = acc in
+          let* c = check_input t ~height ~sighash input in
+          Ok (c :: cs))
+        (Ok []) inputs
+    in
+    let* value_in = Amount.sum (List.map (fun (c : Utxo_set.coin) -> c.amount) coins) in
+    let* value_out = Tx.transfer_value_out outputs in
+    let* fee =
+      match Amount.sub value_in value_out with
+      | Ok f -> Ok f
+      | Error _ -> Error "tx: outputs exceed inputs"
+    in
+    (* Forward transfers touch the sidechain ledger (§4.1.1). *)
+    let* scs =
+      List.fold_left
+        (fun acc ft ->
+          let* scs = acc in
+          Sc_ledger.credit_ft scs ft ~height)
+        (Ok t.scs) (Tx.forward_transfers tx)
+    in
+    let utxos =
+      List.fold_left
+        (fun u (i : Tx.input) -> Utxo_set.remove u i.outpoint)
+        t.utxos inputs
+    in
+    let utxos =
+      add_outputs utxos ~txid:(Tx.txid tx) ~spendable_after:height outputs
+    in
+    Ok ({ t with utxos; scs }, fee)
+  | Tx.Sc_create config ->
+    let* scs = Sc_ledger.register t.scs config ~created_at:height in
+    Ok ({ t with scs }, Amount.zero)
+  | Tx.Certificate cert ->
+    let* scs, replaced =
+      Sc_ledger.accept_cert t.scs ~cert ~block_hash ~height
+        ~block_hash_at:(block_hash_at t)
+    in
+    (* Claw back the payouts of a replaced lower-quality certificate;
+       their maturity guarantees they are still unspent. *)
+    let utxos =
+      match replaced with
+      | None -> t.utxos
+      | Some record ->
+        List.fold_left Utxo_set.remove t.utxos (cert_payout_outpoints record)
+    in
+    (* Payouts mature only after the submission window closes, so a
+       better certificate can still displace them. *)
+    let sc = Option.get (Sc_ledger.find scs cert.ledger_id) in
+    let _, window_end =
+      Epoch.submission_window
+        (Epoch.of_config sc.config)
+        ~epoch:cert.epoch_id
+    in
+    let txid = Tx.txid tx in
+    let utxos =
+      List.fold_left
+        (fun (u, vout) (bt : Backward_transfer.t) ->
+          ( Utxo_set.add u { Tx.txid; vout }
+              {
+                Utxo_set.addr = bt.receiver_addr;
+                amount = bt.amount;
+                spendable_after = window_end;
+              },
+            vout + 1 ))
+        (utxos, 0) cert.bt_list
+      |> fst
+    in
+    Ok ({ t with utxos; scs }, Amount.zero)
+  | Tx.Withdrawal_request w -> (
+    let* scs = Sc_ledger.apply_withdrawal t.scs ~request:w ~height in
+    match w.kind with
+    | Mainchain_withdrawal.Btr -> Ok ({ t with scs }, Amount.zero)
+    | Mainchain_withdrawal.Csw ->
+      (* A valid CSW pays the receiver directly (§4.1.2.1). *)
+      let utxos =
+        Utxo_set.add t.utxos
+          { Tx.txid = Tx.txid tx; vout = 0 }
+          {
+            Utxo_set.addr = w.receiver;
+            amount = w.amount;
+            spendable_after = height;
+          }
+      in
+      Ok ({ t with utxos; scs }, Amount.zero))
+
+let apply_block t (b : Block.t) =
+  let* () = Block.validate_structure ~pow:t.params.pow b in
+  let* () =
+    if Hash.equal b.header.prev t.tip_hash then Ok ()
+    else Error "block: parent is not the current tip"
+  in
+  let* () =
+    if b.header.height = t.height + 1 then Ok ()
+    else Error "block: height discontinuity"
+  in
+  let height = b.header.height in
+  let block_hash = Block.hash b in
+  let* coinbase, rest =
+    match b.txs with
+    | Tx.Coinbase { height = cb_height; reward } :: rest ->
+      Ok (Some (cb_height, reward), rest)
+    | [] -> Error "block: empty (coinbase required)"
+    | _ -> Error "block: first transaction must be the coinbase"
+  in
+  let* state, fees =
+    List.fold_left
+      (fun acc tx ->
+        let* s, fees = acc in
+        let* s, fee = apply_tx s ~height ~block_hash tx in
+        match Amount.add fees fee with
+        | Ok fees -> Ok (s, fees)
+        | Error e -> Error e)
+      (Ok (t, Amount.zero))
+      rest
+  in
+  let* utxos =
+    match coinbase with
+    | None -> Ok state.utxos
+    | Some (_, reward) ->
+      let* allowed =
+        match Amount.add t.params.subsidy fees with
+        | Ok a -> Ok a
+        | Error e -> Error e
+      in
+      let* () =
+        if Amount.( <= ) reward.amount allowed then Ok ()
+        else Error "block: coinbase exceeds subsidy plus fees"
+      in
+      let cb_tx = Tx.Coinbase { height; reward } in
+      Ok
+        (Utxo_set.add state.utxos
+           { Tx.txid = Tx.txid cb_tx; vout = 0 }
+           {
+             Utxo_set.addr = reward.addr;
+             amount = reward.amount;
+             spendable_after = height + t.params.coinbase_maturity;
+           })
+  in
+  Ok
+    {
+      state with
+      utxos;
+      height;
+      tip_hash = block_hash;
+      time = b.header.time;
+      hash_by_height = block_hash :: t.hash_by_height;
+    }

@@ -1,0 +1,51 @@
+(** The mainchain state machine: full validation and application of
+    transactions and blocks.
+
+    States are persistent values — applying a block returns a new state
+    sharing structure with the old one, so every block in the tree
+    keeps its post-state and reorgs are pointer switches (handled by
+    {!Chain}). *)
+
+open Zen_crypto
+open Zendoo
+
+type params = {
+  pow : Pow.params;
+  subsidy : Amount.t;  (** block reward *)
+  coinbase_maturity : int;
+}
+
+val default_params : params
+
+type t = {
+  params : params;
+  height : int;
+  tip_hash : Hash.t;
+  time : int;
+  utxos : Utxo_set.t;
+  scs : Sc_ledger.t;
+  hash_by_height : Hash.t list;  (** newest first; index 0 is the tip *)
+}
+
+val of_genesis : params -> Block.t -> t
+
+val block_hash_at : t -> int -> Hash.t option
+(** Hash of this chain's block at the given height. *)
+
+val apply_tx :
+  t -> height:int -> block_hash:Hash.t -> Tx.t -> (t * Amount.t, string) result
+(** Validates and applies one non-coinbase transaction; returns the new
+    state and the transaction fee. Used by block validation and by the
+    miner's template construction. *)
+
+val apply_block : t -> Block.t -> (t, string) result
+(** Full block validation: structure, linkage, every transaction, and
+    the coinbase reward bound (subsidy + fees). *)
+
+val spendable : t -> Tx.outpoint -> at_height:int -> Utxo_set.coin option
+(** The coin if it exists and has matured for inclusion at
+    [at_height]. *)
+
+val sc_balance : t -> Hash.t -> Amount.t option
+val circulating : t -> Amount.t
+(** Total value in the UTXO set (supply audit helper). *)

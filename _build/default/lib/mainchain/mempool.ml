@@ -1,0 +1,24 @@
+open Zen_crypto
+
+type t = { order : Tx.t list (* newest first *); ids : Hash.Set.t }
+
+let empty = { order = []; ids = Hash.Set.empty }
+
+let add t tx =
+  let id = Tx.txid tx in
+  if Hash.Set.mem id t.ids then t
+  else { order = tx :: t.order; ids = Hash.Set.add id t.ids }
+
+let add_list t txs = List.fold_left add t txs
+
+let remove_included t (b : Block.t) =
+  let included = Hash.Set.of_list (List.map Tx.txid b.txs) in
+  {
+    order =
+      List.filter (fun tx -> not (Hash.Set.mem (Tx.txid tx) included)) t.order;
+    ids = Hash.Set.diff t.ids included;
+  }
+
+let txs t = List.rev t.order
+let mem t id = Hash.Set.mem id t.ids
+let size t = List.length t.order

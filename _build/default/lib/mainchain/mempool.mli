@@ -1,0 +1,23 @@
+(** A minimal mainchain mempool: FIFO of candidate transactions.
+
+    Admission is cheap (structural); full validation happens when the
+    miner builds a template and when blocks are applied, so invalid or
+    conflicting transactions are dropped at selection time. *)
+
+open Zen_crypto
+
+type t
+
+val empty : t
+val add : t -> Tx.t -> t
+(** Duplicates (by txid) are ignored. *)
+
+val add_list : t -> Tx.t list -> t
+val remove_included : t -> Block.t -> t
+(** Drops everything the block included. *)
+
+val txs : t -> Tx.t list
+(** FIFO order. *)
+
+val mem : t -> Hash.t -> bool
+val size : t -> int

@@ -1,0 +1,41 @@
+open Zen_crypto
+open Zendoo
+
+let coinbase_for chain ~height ~miner_addr ~fees =
+  let subsidy = (Chain.params chain).subsidy in
+  let reward =
+    match Amount.add subsidy fees with Ok a -> a | Error _ -> subsidy
+  in
+  Tx.Coinbase { height; reward = { Tx.addr = miner_addr; amount = reward } }
+
+let build_block chain ~time ~miner_addr ~candidates =
+  let state = Chain.tip_state chain in
+  let height = state.height + 1 in
+  (* Trial-apply against a placeholder block hash; certificate records
+     carry the real hash once the sealed block is applied for real. *)
+  let placeholder = Hash.of_string "miner.trial" in
+  let _, selected_rev, skipped_rev, fees =
+    List.fold_left
+      (fun (st, sel, skip, fees) tx ->
+        match Chain_state.apply_tx st ~height ~block_hash:placeholder tx with
+        | Ok (st', fee) ->
+          let fees = match Amount.add fees fee with Ok f -> f | Error _ -> fees in
+          (st', tx :: sel, skip, fees)
+        | Error _ -> (st, sel, tx :: skip, fees))
+      (state, [], [], Amount.zero)
+      candidates
+  in
+  let txs =
+    coinbase_for chain ~height ~miner_addr ~fees :: List.rev selected_rev
+  in
+  match
+    Block.assemble ~prev:(Chain.tip_hash chain) ~height ~time ~txs
+      ~pow:(Chain.params chain).pow
+  with
+  | Error e -> Error e
+  | Ok block -> Ok (block, List.rev skipped_rev)
+
+let mine_empty chain ~time ~miner_addr =
+  match build_block chain ~time ~miner_addr ~candidates:[] with
+  | Ok (b, _) -> Ok b
+  | Error e -> Error e

@@ -1,0 +1,24 @@
+(** Block-template construction and mining.
+
+    Selects mempool transactions greedily against a trial state (so a
+    template never contains an invalid or conflicting transaction),
+    pays subsidy + fees to the miner address, and seals the block with
+    proof of work. *)
+
+open Zen_crypto
+open Zendoo
+
+val build_block :
+  Chain.t ->
+  time:int ->
+  miner_addr:Hash.t ->
+  candidates:Tx.t list ->
+  (Block.t * Tx.t list, string) result
+(** Returns the sealed block and the candidate transactions that were
+    skipped (each invalid against the evolving trial state). *)
+
+val mine_empty :
+  Chain.t -> time:int -> miner_addr:Hash.t -> (Block.t, string) result
+
+val coinbase_for :
+  Chain.t -> height:int -> miner_addr:Hash.t -> fees:Amount.t -> Tx.t

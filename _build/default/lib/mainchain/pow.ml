@@ -1,0 +1,29 @@
+open Zen_crypto
+
+type params = { difficulty_bits : int }
+
+let default = { difficulty_bits = 8 }
+let trivial = { difficulty_bits = 0 }
+
+let meets_target params h =
+  let raw = Hash.to_raw h in
+  let rec leading_zero_bits i acc =
+    if i >= String.length raw then acc
+    else begin
+      let byte = Char.code raw.[i] in
+      if byte = 0 then leading_zero_bits (i + 1) (acc + 8)
+      else begin
+        let rec bits b n = if b land 0x80 <> 0 then n else bits (b lsl 1) (n + 1) in
+        acc + bits byte 0
+      end
+    end
+  in
+  leading_zero_bits 0 0 >= params.difficulty_bits
+
+let work_of params = 1 lsl params.difficulty_bits
+
+let mine params hash_of_nonce =
+  let rec go nonce =
+    if meets_target params (hash_of_nonce ~nonce) then nonce else go (nonce + 1)
+  in
+  go 0

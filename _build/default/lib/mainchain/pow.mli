@@ -1,0 +1,27 @@
+(** Simulated proof-of-work (DESIGN.md §3, substitution 3).
+
+    Difficulty is a fixed leading-zero-bits threshold over the SHA-256
+    header hash; mining is a deterministic nonce search, so test chains
+    are reproducible. Cumulative work drives Nakamoto fork choice. *)
+
+open Zen_crypto
+
+type params = { difficulty_bits : int }
+
+val default : params
+(** 8 leading zero bits — a few hundred hashes per block, fast enough
+    for thousand-block test chains while still exercising the search. *)
+
+val trivial : params
+(** 0 bits: every header qualifies; used by benchmarks that are not
+    about mining. *)
+
+val meets_target : params -> Hash.t -> bool
+
+val work_of : params -> int
+(** Expected hashes per block (2^difficulty_bits) — the per-block work
+    contribution for fork choice. *)
+
+val mine : params -> (nonce:int -> Hash.t) -> int
+(** [mine params hash_of_nonce] returns the first nonce (from 0) whose
+    header hash meets the target. *)

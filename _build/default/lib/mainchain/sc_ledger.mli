@@ -1,0 +1,79 @@
+(** Mainchain-side sidechain ledger: the registry of sidechains and the
+    per-sidechain state the mainchain maintains — balance (withdrawal
+    safeguard, §4.1.2.2), accepted certificates per epoch with the
+    quality rule (§4.1.2), used nullifiers, and cease status (Def. 4.2).
+
+    This module holds the rules that don't need the UTXO set; coin
+    movement for certificate payouts and CSWs is carried out by
+    {!Chain_state}, which consumes the decisions made here. *)
+
+open Zen_crypto
+open Zendoo
+
+type cert_record = {
+  cert : Withdrawal_certificate.t;
+  included_in : Hash.t;  (** MC block hash carrying the certificate *)
+  at_height : int;
+}
+
+type sc_state = {
+  config : Sidechain_config.t;
+  balance : Amount.t;  (** safeguard balance *)
+  certs : cert_record list;  (** best certificate per epoch, newest first *)
+  nullifiers : Hash.Set.t;
+}
+
+type t
+
+val empty : t
+
+val register : t -> Sidechain_config.t -> created_at:int -> (t, string) result
+(** Fails on duplicate or reserved ledger id, or when [start_block] is
+    not strictly in the future. *)
+
+val find : t -> Hash.t -> sc_state option
+val sidechain_ids : t -> Hash.t list
+
+val is_ceased : t -> Hash.t -> height:int -> bool
+(** Def. 4.2, evaluated at a chain tip of the given height. Unknown
+    sidechains are not "ceased" — they never existed. *)
+
+val last_cert : sc_state -> cert_record option
+val cert_for_epoch : sc_state -> epoch:int -> cert_record option
+
+val credit_ft : t -> Forward_transfer.t -> height:int -> (t, string) result
+(** Applies a forward transfer: destination exists, is active and not
+    ceased; the balance grows. *)
+
+val accept_cert :
+  t ->
+  cert:Withdrawal_certificate.t ->
+  block_hash:Hash.t ->
+  height:int ->
+  block_hash_at:(int -> Hash.t option) ->
+  (t * cert_record option, string) result
+(** Full certificate acceptance: statics, epoch window, quality rule,
+    SNARK verification against the epoch-boundary block hashes
+    (resolved through [block_hash_at]), safeguard. On success returns
+    the state and the certificate record this one *replaces* (same
+    epoch, lower quality), whose payouts the chain must claw back. *)
+
+val check_withdrawal :
+  t ->
+  request:Mainchain_withdrawal.t ->
+  height:int ->
+  (unit, string) result
+(** Shared BTR/CSW admission: registration, schema, nullifier
+    freshness, SNARK proof, and kind-specific status (BTR requires an
+    active sidechain, CSW a ceased one) plus safeguard for CSW. *)
+
+val apply_withdrawal :
+  t -> request:Mainchain_withdrawal.t -> height:int -> (t, string) result
+(** [check_withdrawal] then record the nullifier; for CSW also debit
+    the balance. *)
+
+val reference_block_for : sc_state -> Hash.t
+(** [H(B_w)] of §4.1.2.1: the block that carried the latest accepted
+    certificate, or {!Hash.zero} when none exists yet. *)
+
+val balance : t -> Hash.t -> Amount.t option

@@ -1,0 +1,36 @@
+open Zen_crypto
+open Zendoo
+
+type coin = { addr : Hash.t; amount : Amount.t; spendable_after : int }
+
+module M = Map.Make (String)
+
+(* Outpoints are keyed by their canonical encoding; decoding is never
+   needed because folds carry the original outpoint alongside. *)
+type entry = { outpoint : Tx.outpoint; coin : coin }
+
+type t = { coins : entry M.t }
+
+let empty = { coins = M.empty }
+let key = Tx.outpoint_encode
+
+let find t o =
+  Option.map (fun e -> e.coin) (M.find_opt (key o) t.coins)
+
+let mem t o = M.mem (key o) t.coins
+let add t o coin = { coins = M.add (key o) { outpoint = o; coin } t.coins }
+let remove t o = { coins = M.remove (key o) t.coins }
+let cardinal t = M.cardinal t.coins
+
+let fold t ~init ~f =
+  M.fold (fun _ e acc -> f acc e.outpoint e.coin) t.coins init
+
+let total_value t =
+  fold t ~init:Amount.zero ~f:(fun acc _ c ->
+      match Amount.add acc c.amount with
+      | Ok v -> v
+      | Error _ -> acc (* unreachable: supply is capped *))
+
+let coins_of_addr t addr =
+  fold t ~init:[] ~f:(fun acc o c ->
+      if Hash.equal c.addr addr then (o, c) :: acc else acc)

@@ -1,0 +1,30 @@
+(** The mainchain UTXO set: a persistent map from outpoint to coin.
+
+    Persistence (structural sharing) is what makes fork handling cheap:
+    every block's post-state is retained and a reorg is just a pointer
+    switch to another block's state. *)
+
+open Zen_crypto
+open Zendoo
+
+type coin = {
+  addr : Hash.t;
+  amount : Amount.t;
+  spendable_after : int;
+      (** maturity height: coinbase and certificate payouts cannot be
+          spent until the height is strictly greater *)
+}
+
+type t
+
+val empty : t
+val find : t -> Tx.outpoint -> coin option
+val mem : t -> Tx.outpoint -> bool
+val add : t -> Tx.outpoint -> coin -> t
+val remove : t -> Tx.outpoint -> t
+val cardinal : t -> int
+val total_value : t -> Amount.t
+val fold : t -> init:'a -> f:('a -> Tx.outpoint -> coin -> 'a) -> 'a
+
+val coins_of_addr : t -> Hash.t -> (Tx.outpoint * coin) list
+(** Wallet scan helper; linear in the set size. *)

@@ -1,0 +1,97 @@
+open Zen_crypto
+open Zendoo
+
+type key = { sk : Schnorr.secret_key; pk : Schnorr.public_key; addr : Hash.t }
+
+type t = {
+  seed : string;
+  mutable keys : key list; (* newest first *)
+  mutable next : int;
+}
+
+let create ~seed = { seed; keys = []; next = 0 }
+
+let fresh_address t =
+  let sk, pk = Schnorr.of_seed (Printf.sprintf "%s.%d" t.seed t.next) in
+  let key = { sk; pk; addr = Schnorr.pk_hash pk } in
+  t.keys <- key :: t.keys;
+  t.next <- t.next + 1;
+  key.addr
+
+let addresses t = List.rev_map (fun k -> k.addr) t.keys
+let key_for t addr = List.find_opt (fun k -> Hash.equal k.addr addr) t.keys
+let owns t addr = key_for t addr <> None
+
+let spendable_coins t (state : Chain_state.t) =
+  Utxo_set.fold state.utxos ~init:[] ~f:(fun acc outpoint coin ->
+      if owns t coin.Utxo_set.addr && state.height + 1 > coin.spendable_after
+      then (outpoint, coin) :: acc
+      else acc)
+
+let balance t state =
+  List.fold_left
+    (fun acc (_, (c : Utxo_set.coin)) ->
+      match Amount.add acc c.amount with Ok v -> v | Error _ -> acc)
+    Amount.zero (spendable_coins t state)
+
+let sign_for t ~addr ~msg =
+  Option.map
+    (fun k -> (k.pk, Schnorr.sign k.sk msg))
+    (key_for t addr)
+
+let build_transfer t state ~outputs ~fee =
+  let ( let* ) = Result.bind in
+  let* target = Tx.transfer_value_out outputs in
+  let* need =
+    match Amount.add target fee with Ok a -> Ok a | Error e -> Error e
+  in
+  (* Greedy largest-first selection. *)
+  let coins =
+    List.sort
+      (fun (_, (a : Utxo_set.coin)) (_, (b : Utxo_set.coin)) ->
+        Amount.compare b.amount a.amount)
+      (spendable_coins t state)
+  in
+  let rec pick acc total = function
+    | _ when Amount.( <= ) need total -> Ok (acc, total)
+    | [] -> Error "wallet: insufficient funds"
+    | (o, (c : Utxo_set.coin)) :: rest -> (
+      match Amount.add total c.amount with
+      | Ok total -> pick ((o, c) :: acc) total rest
+      | Error e -> Error e)
+  in
+  let* picked, total = pick [] Amount.zero coins in
+  let* change =
+    match Amount.sub total need with Ok c -> Ok c | Error e -> Error e
+  in
+  let outputs =
+    if Amount.is_zero change then outputs
+    else begin
+      let change_addr =
+        (* Reuse the newest key for change to keep the wallet small. *)
+        match t.keys with
+        | k :: _ -> k.addr
+        | [] -> assert false (* picked is non-empty, so a key exists *)
+      in
+      outputs @ [ Tx.Coin { Tx.addr = change_addr; amount = change } ]
+    end
+  in
+  let outpoints = List.map fst picked in
+  let sighash = Tx.sighash ~inputs:outpoints ~outputs in
+  let* inputs =
+    List.fold_left
+      (fun acc (outpoint, (coin : Utxo_set.coin)) ->
+        let* inputs = acc in
+        match sign_for t ~addr:coin.addr ~msg:(Hash.to_raw sighash) with
+        | None -> Error "wallet: missing key for selected coin"
+        | Some (pk, signature) ->
+          Ok ({ Tx.outpoint; pk; signature } :: inputs))
+      (Ok []) picked
+  in
+  Ok (Tx.Transfer { inputs = List.rev inputs; outputs })
+
+let build_forward_transfer t state ~ledger_id ~receiver_metadata ~amount ~fee =
+  build_transfer t state
+    ~outputs:
+      [ Tx.Ft (Forward_transfer.make ~ledger_id ~receiver_metadata ~amount) ]
+    ~fee

@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Amount Chain Circuits Hash Mempool Node Params Pow Sidechain_config Tx Wallet Zen_crypto Zen_latus Zen_mainchain Zendoo

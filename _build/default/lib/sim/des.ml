@@ -1,0 +1,56 @@
+module Key = struct
+  type t = { time : int; seq : int }
+
+  let compare a b =
+    match Stdlib.compare a.time b.time with
+    | 0 -> Stdlib.compare a.seq b.seq
+    | c -> c
+end
+
+module Q = Map.Make (Key)
+
+type t = {
+  mutable queue : (t -> unit) Q.t;
+  mutable now : int;
+  mutable seq : int;
+}
+
+let create () = { queue = Q.empty; now = 0; seq = 0 }
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then invalid_arg "Des.schedule_at: time in the past";
+  t.queue <- Q.add { Key.time; seq = t.seq } f t.queue;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Des.schedule: negative delay";
+  schedule_at t ~time:(t.now + delay) f
+
+let every t ~period ?until f =
+  if period <= 0 then invalid_arg "Des.every: period <= 0";
+  let rec tick sim =
+    (match until with
+    | Some u when now sim > u -> ()
+    | _ ->
+      f sim;
+      schedule sim ~delay:period tick)
+  in
+  schedule t ~delay:period tick
+
+let run t ~until =
+  let rec go () =
+    match Q.min_binding_opt t.queue with
+    | None -> ()
+    | Some (key, f) ->
+      if key.Key.time > until then ()
+      else begin
+        t.queue <- Q.remove key t.queue;
+        t.now <- key.Key.time;
+        f t;
+        go ()
+      end
+  in
+  go ()
+
+let pending t = Q.cardinal t.queue

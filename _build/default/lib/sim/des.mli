@@ -1,0 +1,28 @@
+(** A minimal discrete-event simulator.
+
+    Events are closures scheduled at virtual times; execution order is
+    (time, insertion sequence), so simulations are deterministic.
+    Handlers may schedule further events, which is how recurring
+    processes (mining rounds, forging slots) are modelled. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time (0 before the first event runs). *)
+
+val schedule : t -> delay:int -> (t -> unit) -> unit
+(** Schedule an event [delay] units after the current time.
+    Raises [Invalid_argument] on negative delay. *)
+
+val schedule_at : t -> time:int -> (t -> unit) -> unit
+
+val every : t -> period:int -> ?until:int -> (t -> unit) -> unit
+(** Recurring event starting one period from now. *)
+
+val run : t -> until:int -> unit
+(** Executes events in order until the queue empties or virtual time
+    would exceed [until]. *)
+
+val pending : t -> int

@@ -1,0 +1,142 @@
+open Zen_crypto
+open Zen_mainchain
+open Zen_latus
+open Zendoo
+
+type sidechain = {
+  name : string;
+  ledger_id : Hash.t;
+  config : Sidechain_config.t;
+  node : Node.t;
+  mutable withhold_certs : bool;
+}
+
+type t = {
+  mutable chain : Chain.t;
+  mutable mempool : Mempool.t;
+  mc_wallet : Wallet.t;
+  miner_addr : Hash.t;
+  mutable time : int;
+  mutable sidechains : sidechain list;
+  mutable log : string list;
+}
+
+let logf t fmt = Printf.ksprintf (fun s -> t.log <- s :: t.log) fmt
+let dump_log t = List.rev t.log
+
+let create ?(pow = Pow.trivial) ~seed () =
+  let params = { Chain_state.default_params with pow } in
+  let mc_wallet = Wallet.create ~seed in
+  let miner_addr = Wallet.fresh_address mc_wallet in
+  {
+    chain = Chain.create ~params ~time:0 ();
+    mempool = Mempool.empty;
+    mc_wallet;
+    miner_addr;
+    time = 0;
+    sidechains = [];
+    log = [];
+  }
+
+let mine t =
+  t.time <- t.time + 1;
+  match
+    Miner.build_block t.chain ~time:t.time ~miner_addr:t.miner_addr
+      ~candidates:(Mempool.txs t.mempool)
+  with
+  | Error e -> logf t "mine failed: %s" e
+  | Ok (block, skipped) ->
+    if skipped <> [] then
+      logf t "miner skipped %d invalid txs" (List.length skipped);
+    (match Chain.add_block t.chain block with
+    | Error e -> logf t "block rejected: %s" e
+    | Ok (chain, _) ->
+      t.chain <- chain;
+      t.mempool <- Mempool.remove_included t.mempool block)
+
+let mine_n t n =
+  for _ = 1 to n do
+    mine t
+  done
+
+let submit t tx = t.mempool <- Mempool.add t.mempool tx
+let fund t ~blocks = mine_n t blocks
+
+let add_latus t ~name ?(params = Params.default) ?family ~epoch_len
+    ~submit_len ~activation_delay () =
+  let family = match family with Some f -> f | None -> Circuits.make params in
+  let ledger_id =
+    Sidechain_config.derive_ledger_id ~creator:t.miner_addr
+      ~nonce:(List.length t.sidechains + 1)
+  in
+  (* The creation transaction lands in the next block; activation must
+     be strictly after it. *)
+  let start_block = Chain.height t.chain + 1 + activation_delay in
+  match
+    Node.config_for ~ledger_id ~start_block ~epoch_len ~submit_len family
+  with
+  | Error e -> Error e
+  | Ok config -> (
+    let forger = Sc_wallet.create ~seed:("forger." ^ name) in
+    let (_ : Hash.t) = Sc_wallet.fresh_address forger in
+    match Node.create ~config ~params ~family ~forger () with
+    | Error e -> Error e
+    | Ok node ->
+      submit t (Tx.Sc_create config);
+      mine t;
+      let sc = { name; ledger_id; config; node; withhold_certs = false } in
+      t.sidechains <- t.sidechains @ [ sc ];
+      logf t "sidechain %s registered (activates at MC height %d)" name
+        start_block;
+      Ok sc)
+
+let forward_transfer t sc ~receiver ~payback ~amount =
+  let state = Chain.tip_state t.chain in
+  match
+    Wallet.build_forward_transfer t.mc_wallet state ~ledger_id:sc.ledger_id
+      ~receiver_metadata:(Sc_tx.ft_metadata ~receiver ~payback)
+      ~amount ~fee:(Amount.of_int_exn 1000)
+  with
+  | Error e -> Error e
+  | Ok tx ->
+    submit t tx;
+    mine t;
+    logf t "FT of %s to %s" (Amount.to_string amount) sc.name;
+    Ok ()
+
+let tick t =
+  mine t;
+  List.iter
+    (fun sc ->
+      (match Node.forge sc.node ~mc:t.chain ~slot:t.time () with
+      | Error e -> logf t "%s forge error: %s" sc.name e
+      | Ok None -> ()
+      | Ok (Some b) ->
+        logf t "%s forged block %d (%d refs, %d txs)" sc.name b.height
+          (List.length b.mc_refs) (List.length b.txs));
+      if not sc.withhold_certs then begin
+        match Node.build_certificate sc.node ~mc:t.chain with
+        | Error e -> logf t "%s certificate error: %s" sc.name e
+        | Ok None -> ()
+        | Ok (Some cert_tx) ->
+          submit t cert_tx;
+          logf t "%s submitted certificate" sc.name
+      end)
+    t.sidechains
+
+let tick_n t n =
+  for _ = 1 to n do
+    tick t
+  done
+
+let sc_balance_on_mc t sc =
+  Option.value
+    (Chain_state.sc_balance (Chain.tip_state t.chain) sc.ledger_id)
+    ~default:Amount.zero
+
+let is_ceased t sc =
+  let st = Chain.tip_state t.chain in
+  Sc_ledger.is_ceased st.scs sc.ledger_id ~height:st.height
+
+let find_sidechain t name =
+  List.find_opt (fun sc -> String.equal sc.name name) t.sidechains

@@ -1,0 +1,76 @@
+(** A one-process world: mainchain + miners + Latus sidechains.
+
+    Drives the round structure the examples and scenario tests share:
+    each {!tick} mines one MC block from the shared mempool, lets every
+    sidechain node forge against the new tip, and auto-submits any
+    certificate that becomes ready. Adversarial knobs (certificate
+    withholding, fork injection) exercise the ceasing and reorg paths
+    of the protocol. *)
+
+open Zen_crypto
+open Zen_mainchain
+open Zen_latus
+open Zendoo
+
+type sidechain = {
+  name : string;
+  ledger_id : Hash.t;
+  config : Sidechain_config.t;
+  node : Node.t;
+  mutable withhold_certs : bool;
+      (** adversarial: stop submitting certificates (drives ceasing) *)
+}
+
+type t = {
+  mutable chain : Chain.t;
+  mutable mempool : Mempool.t;
+  mc_wallet : Wallet.t;
+  miner_addr : Hash.t;
+  mutable time : int;
+  mutable sidechains : sidechain list;
+  mutable log : string list;  (** newest first; human-readable event log *)
+}
+
+val create : ?pow:Pow.params -> seed:string -> unit -> t
+
+val mine : t -> unit
+(** One MC block from the current mempool. *)
+
+val mine_n : t -> int -> unit
+
+val submit : t -> Tx.t -> unit
+
+val fund : t -> blocks:int -> unit
+(** Mines empty blocks so the harness wallet has mature coins. *)
+
+val add_latus :
+  t ->
+  name:string ->
+  ?params:Params.t ->
+  ?family:Circuits.family ->
+  epoch_len:int ->
+  submit_len:int ->
+  activation_delay:int ->
+  unit ->
+  (sidechain, string) result
+(** Registers a new Latus sidechain (creation tx mined immediately);
+    activation at [tip + activation_delay]. *)
+
+val forward_transfer :
+  t -> sidechain -> receiver:Hash.t -> payback:Hash.t -> amount:Amount.t ->
+  (unit, string) result
+(** Builds, submits and mines an FT from the harness wallet. *)
+
+val tick : t -> unit
+(** Mine one MC block, forge each sidechain once (slot = time), and
+    submit any certificate that is ready (unless withheld). *)
+
+val tick_n : t -> int -> unit
+
+val sc_balance_on_mc : t -> sidechain -> Amount.t
+val is_ceased : t -> sidechain -> bool
+val find_sidechain : t -> string -> sidechain option
+
+val logf : t -> ('a, unit, string, unit) format4 -> 'a
+val dump_log : t -> string list
+(** Oldest first. *)

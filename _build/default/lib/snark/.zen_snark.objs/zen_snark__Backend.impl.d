@@ -1,0 +1,1 @@
+lib/snark/backend.ml: Array Buffer Fp Hash Printf R1cs Sha256 String Zen_crypto

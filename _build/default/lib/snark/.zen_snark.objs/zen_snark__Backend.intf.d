@@ -1,0 +1,1 @@
+lib/snark/backend.mli: Fp Hash R1cs Zen_crypto

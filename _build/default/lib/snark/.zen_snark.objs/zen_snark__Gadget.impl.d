@@ -1,0 +1,1 @@
+lib/snark/gadget.ml: Array Fp List Poseidon R1cs Zen_crypto

@@ -1,0 +1,1 @@
+lib/snark/gadget.mli: Fp R1cs Zen_crypto

@@ -1,0 +1,1 @@
+lib/snark/r1cs.ml: Array Buffer Fp Hash List Printf Sha256 Zen_crypto

@@ -1,0 +1,1 @@
+lib/snark/r1cs.mli: Fp Hash Zen_crypto

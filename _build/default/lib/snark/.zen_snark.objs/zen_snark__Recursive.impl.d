@@ -1,0 +1,1 @@
+lib/snark/recursive.ml: Array Backend Fp Gadget Hash List R1cs String Zen_crypto

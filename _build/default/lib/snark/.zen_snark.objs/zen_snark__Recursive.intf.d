@@ -1,0 +1,1 @@
+lib/snark/recursive.mli: Backend Fp Zen_crypto

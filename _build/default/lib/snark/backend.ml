@@ -1,0 +1,80 @@
+open Zen_crypto
+
+type verification_key = {
+  circuit_digest : Hash.t;
+  n_public : int;
+  (* The simulation's stand-in for the verifier's pairing check: a MAC
+     key derived from the circuit. Within the system, proofs are only
+     ever produced via [prove]; see DESIGN.md §3. *)
+  tag_key : string;
+}
+
+type proving_key = { circuit : R1cs.circuit; vk : verification_key }
+
+type proof = string (* exactly proof_size_bytes bytes *)
+
+let proof_size_bytes = 96
+
+let setup circuit =
+  let circuit_digest = R1cs.digest circuit in
+  let tag_key =
+    Sha256.digest ("zendoo.snark.tag" ^ Hash.to_raw circuit_digest)
+  in
+  let vk = { circuit_digest; n_public = R1cs.num_public circuit; tag_key } in
+  ({ circuit; vk }, vk)
+
+let public_bytes public =
+  let buf = Buffer.create (16 * Array.length public) in
+  Array.iter
+    (fun x ->
+      Buffer.add_string buf (string_of_int (Fp.to_int x));
+      Buffer.add_char buf '|')
+    public;
+  Buffer.contents buf
+
+let tag vk public =
+  let mac =
+    Sha256.hmac ~key:vk.tag_key
+      (Hash.to_raw vk.circuit_digest ^ public_bytes public)
+  in
+  (* Expand to the fixed proof size: three 32-byte "group elements". *)
+  mac
+  ^ Sha256.digest ("zendoo.snark.g2" ^ mac)
+  ^ Sha256.digest ("zendoo.snark.g1b" ^ mac)
+
+let prove pk ~public ~witness =
+  match R1cs.satisfied pk.circuit ~public ~witness with
+  | Error e -> Error e
+  | Ok () -> Ok (tag pk.vk public)
+
+let verify vk ~public proof =
+  Array.length public = vk.n_public && String.equal proof (tag vk public)
+
+let pk_circuit pk = pk.circuit
+
+let vk_digest vk =
+  Hash.tagged "snark.vk"
+    [ Hash.to_raw vk.circuit_digest; string_of_int vk.n_public ]
+
+let vk_num_public vk = vk.n_public
+
+let vk_encode vk =
+  Hash.to_raw vk.circuit_digest ^ Printf.sprintf "%08x" vk.n_public ^ vk.tag_key
+
+let vk_decode s =
+  if String.length s <> 32 + 8 + 32 then None
+  else
+    match int_of_string_opt ("0x" ^ String.sub s 32 8) with
+    | None -> None
+    | Some n_public ->
+      Some
+        {
+          circuit_digest = Hash.of_raw (String.sub s 0 32);
+          n_public;
+          tag_key = String.sub s 40 32;
+        }
+
+let proof_encode p = p
+let proof_decode s = if String.length s = proof_size_bytes then Some s else None
+let proof_equal = String.equal
+let dummy_proof = String.make proof_size_bytes '\000'

@@ -1,0 +1,52 @@
+(** The SNARK proving system (Setup, Prove, Verify) of paper Def. 2.3.
+
+    This is a *simulated* backend (DESIGN.md §3, substitution 1): Setup
+    compiles a real R1CS circuit; Prove evaluates every constraint over
+    the field — linear cost in circuit size, like a real prover — and
+    refuses without a satisfying assignment; the emitted proof is a
+    constant 96 bytes and Verify runs in time O(|public input|),
+    independent of circuit size. Knowledge soundness holds within the
+    simulation because the proof tag can only be produced through
+    [prove], which demands the witness. *)
+
+open Zen_crypto
+
+type proving_key
+type verification_key
+type proof
+
+val proof_size_bytes : int
+(** 96, standing in for (G1, G2, G1) of Groth16. *)
+
+val setup : R1cs.circuit -> proving_key * verification_key
+(** Deterministic per-circuit key generation, so independently compiled
+    identical circuits agree on keys. *)
+
+val prove :
+  proving_key -> public:Fp.t array -> witness:Fp.t array -> (proof, string) result
+(** Fails with a description of the first violated constraint when
+    [(public, witness)] is not a satisfying assignment. *)
+
+val verify : verification_key -> public:Fp.t array -> proof -> bool
+
+val pk_circuit : proving_key -> R1cs.circuit
+
+val vk_digest : verification_key -> Hash.t
+(** Identifier of a verification key — what a sidechain registers in
+    the mainchain at creation time. *)
+
+val vk_num_public : verification_key -> int
+
+val vk_encode : verification_key -> string
+val vk_decode : string -> verification_key option
+
+val proof_encode : proof -> string
+(** Exactly [proof_size_bytes] bytes. *)
+
+val proof_decode : string -> proof option
+
+val proof_equal : proof -> proof -> bool
+
+val dummy_proof : proof
+(** An all-zero proof object, guaranteed to fail verification; used by
+    adversarial tests and workload generators. *)

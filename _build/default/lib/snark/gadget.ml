@@ -1,0 +1,180 @@
+open Zen_crypto
+
+type wire = { lc : R1cs.lc; value : Fp.t }
+
+type ctx = {
+  builder : R1cs.builder;
+  mutable public_rev : Fp.t list;
+  mutable witness_rev : Fp.t list;
+}
+
+let create () = { builder = R1cs.create (); public_rev = []; witness_rev = [] }
+
+let input ctx v =
+  let var = R1cs.alloc_input ctx.builder in
+  ctx.public_rev <- v :: ctx.public_rev;
+  { lc = [ (Fp.one, var) ]; value = v }
+
+let witness ctx v =
+  let var = R1cs.alloc_witness ctx.builder in
+  ctx.witness_rev <- v :: ctx.witness_rev;
+  { lc = [ (Fp.one, var) ]; value = v }
+
+let const v = { lc = [ (v, R1cs.one_var) ]; value = v }
+let const_int n = const (Fp.of_int n)
+let value w = w.value
+
+(* Linear operations merge coefficient lists; no constraints emitted. *)
+let add a b = { lc = a.lc @ b.lc; value = Fp.add a.value b.value }
+
+let scale k a =
+  { lc = List.map (fun (c, v) -> (Fp.mul k c, v)) a.lc; value = Fp.mul k a.value }
+
+let sub a b = add a (scale (Fp.neg Fp.one) b)
+let sum ws = List.fold_left add (const Fp.zero) ws
+
+let mul ctx a b =
+  let out = witness ctx (Fp.mul a.value b.value) in
+  R1cs.constrain ctx.builder a.lc b.lc out.lc;
+  out
+
+let square ctx a = mul ctx a a
+
+let one_lc = [ (Fp.one, R1cs.one_var) ]
+
+let assert_eq ?label ctx a b =
+  R1cs.constrain ?label ctx.builder (sub a b).lc one_lc [ (Fp.zero, R1cs.one_var) ]
+
+let assert_zero ?label ctx a = assert_eq ?label ctx a (const Fp.zero)
+
+let assert_bool ?label ctx a =
+  R1cs.constrain ?label ctx.builder a.lc (sub a (const Fp.one)).lc
+    [ (Fp.zero, R1cs.one_var) ]
+
+let assert_nonzero ?label ctx a =
+  let inv = witness ctx (Fp.inv a.value) in
+  R1cs.constrain ?label ctx.builder a.lc inv.lc one_lc
+
+let is_zero ctx v =
+  (* y = 1 iff v = 0: constraints v·y = 0 and v·m = 1 − y, with m the
+     inverse-or-zero hint. *)
+  let m = witness ctx (if Fp.is_zero v.value then Fp.zero else Fp.inv v.value) in
+  let y = witness ctx (if Fp.is_zero v.value then Fp.one else Fp.zero) in
+  R1cs.constrain ~label:"is_zero.vy" ctx.builder v.lc y.lc
+    [ (Fp.zero, R1cs.one_var) ];
+  R1cs.constrain ~label:"is_zero.vm" ctx.builder v.lc m.lc (sub (const Fp.one) y).lc;
+  y
+
+let select ctx ~cond a b =
+  (* b + cond·(a − b): one multiplication. *)
+  add b (mul ctx cond (sub a b))
+
+let to_bits ctx w n =
+  let v = Fp.to_int w.value in
+  if n < 61 && v lsr n <> 0 then
+    invalid_arg "Gadget.to_bits: value does not fit";
+  let bits =
+    List.init n (fun i -> witness ctx (Fp.of_int ((v lsr i) land 1)))
+  in
+  List.iter (fun b -> assert_bool ~label:"to_bits.bool" ctx b) bits;
+  let recomposed =
+    List.mapi (fun i b -> scale (Fp.pow Fp.two i) b) bits |> sum
+  in
+  assert_eq ~label:"to_bits.sum" ctx recomposed w;
+  bits
+
+let assert_le_bits ctx w n = ignore (to_bits ctx w n)
+
+(* In-circuit Poseidon: mirrors Zen_crypto.Poseidon.permute exactly so
+   the wire values equal the native hash. The S-box x^17 costs five
+   multiplications; ARC and MDS are linear and free. *)
+let sbox ctx x =
+  let x2 = square ctx x in
+  let x4 = square ctx x2 in
+  let x8 = square ctx x4 in
+  let x16 = square ctx x8 in
+  mul ctx x16 x
+
+(* Rebind a wire to a fresh single-variable wire when its linear
+   combination has grown long; without this, the non-S-boxed lanes of
+   partial rounds triple in term count per round (3^22 terms). One
+   constraint buys back a constant-size lc. *)
+let materialize ctx w =
+  if List.length w.lc <= 12 then w
+  else begin
+    let fresh = witness ctx w.value in
+    R1cs.constrain ~label:"materialize" ctx.builder w.lc one_lc fresh.lc;
+    fresh
+  end
+
+let apply_mds ctx state =
+  Array.init Poseidon.width (fun i ->
+      materialize ctx
+        (sum
+           (List.init Poseidon.width (fun j ->
+                scale Poseidon.mds.(i).(j) state.(j)))))
+
+let permute ctx state0 =
+  let state = ref (Array.copy state0) in
+  let rounds_total = Poseidon.rounds_full + Poseidon.rounds_partial in
+  let half_full = Poseidon.rounds_full / 2 in
+  let round r full =
+    let s =
+      Array.mapi
+        (fun i w ->
+          add w (const Poseidon.round_constants.((r * Poseidon.width) + i)))
+        !state
+    in
+    let s =
+      if full then Array.map (sbox ctx) s
+      else Array.mapi (fun i w -> if i = 0 then sbox ctx w else w) s
+    in
+    state := apply_mds ctx s
+  in
+  for r = 0 to half_full - 1 do
+    round r true
+  done;
+  for r = half_full to half_full + Poseidon.rounds_partial - 1 do
+    round r false
+  done;
+  for r = half_full + Poseidon.rounds_partial to rounds_total - 1 do
+    round r true
+  done;
+  !state
+
+let poseidon2 ctx a b =
+  let out = permute ctx [| a; b; const (Fp.of_int 2) |] in
+  out.(0)
+
+let poseidon_hash ctx wires =
+  (* Mirrors Poseidon.hash_fields: rate-2 absorption with the message
+     length in the capacity lane. *)
+  let n = List.length wires in
+  let arr = Array.of_list wires in
+  let state = ref [| const Fp.zero; const Fp.zero; const (Fp.of_int (n + 3)) |] in
+  let i = ref 0 in
+  while !i < n do
+    let s = Array.copy !state in
+    s.(0) <- add s.(0) arr.(!i);
+    if !i + 1 < n then s.(1) <- add s.(1) arr.(!i + 1);
+    state := permute ctx s;
+    i := !i + 2
+  done;
+  if n = 0 then (permute ctx !state).(0) else !state.(0)
+
+let merkle_root ctx ~leaf ~path_bits ~siblings =
+  if List.length path_bits <> List.length siblings then
+    invalid_arg "Gadget.merkle_root: arity mismatch";
+  List.fold_left2
+    (fun cur bit sib ->
+      (* bit = 1 means the current node is the right child. *)
+      let left = select ctx ~cond:bit sib cur in
+      let right = select ctx ~cond:bit cur sib in
+      poseidon2 ctx left right)
+    leaf path_bits siblings
+
+let finalize ~name ctx =
+  let circuit = R1cs.finalize ~name ctx.builder in
+  ( circuit,
+    Array.of_list (List.rev ctx.public_rev),
+    Array.of_list (List.rev ctx.witness_rev) )

@@ -1,0 +1,73 @@
+(** Circuit gadgets: synthesis-time helpers that emit constraints and
+    compute the witness simultaneously.
+
+    A {!wire} pairs a linear combination with its concrete value, so
+    additions and scalings are free (no constraint, no new variable)
+    while multiplications allocate one witness variable and one
+    constraint — the R1CS cost model. The in-circuit Poseidon
+    permutation built here is what gives the Latus state-transition
+    circuits their realistic size (≈230 constraints per hash). *)
+
+open Zen_crypto
+
+type ctx
+type wire
+
+val create : unit -> ctx
+
+val input : ctx -> Fp.t -> wire
+(** Allocates a public-input wire carrying the given value. Must be
+    called before any witness allocation. *)
+
+val witness : ctx -> Fp.t -> wire
+val const : Fp.t -> wire
+val const_int : int -> wire
+
+val value : wire -> Fp.t
+
+val add : wire -> wire -> wire
+val sub : wire -> wire -> wire
+val scale : Fp.t -> wire -> wire
+val sum : wire list -> wire
+
+val mul : ctx -> wire -> wire -> wire
+val square : ctx -> wire -> wire
+
+val assert_eq : ?label:string -> ctx -> wire -> wire -> unit
+val assert_zero : ?label:string -> ctx -> wire -> unit
+val assert_bool : ?label:string -> ctx -> wire -> unit
+(** Constrains [w·(w−1) = 0]. *)
+
+val assert_nonzero : ?label:string -> ctx -> wire -> unit
+(** Allocates the inverse as witness and constrains [w·w⁻¹ = 1].
+    Raises [Division_by_zero] at synthesis when the value is zero. *)
+
+val is_zero : ctx -> wire -> wire
+(** Boolean wire: 1 iff the input is zero (standard inv-or-zero trick). *)
+
+val select : ctx -> cond:wire -> wire -> wire -> wire
+(** [select ~cond a b] is [a] when the boolean [cond] is 1, else [b]. *)
+
+val to_bits : ctx -> wire -> int -> wire list
+(** Little-endian bit decomposition into [n] boolean wires, with the
+    recomposition constraint. Raises at synthesis if the value does not
+    fit. Acts as a range check. *)
+
+val assert_le_bits : ctx -> wire -> int -> unit
+(** Range check: value fits in [n] bits. *)
+
+val poseidon2 : ctx -> wire -> wire -> wire
+(** In-circuit two-to-one Poseidon; matches {!Zen_crypto.Poseidon.hash2}. *)
+
+val poseidon_hash : ctx -> wire list -> wire
+(** In-circuit sponge over a fixed-length message; matches
+    {!Zen_crypto.Poseidon.hash_list}. *)
+
+val merkle_root : ctx -> leaf:wire -> path_bits:wire list -> siblings:wire list -> wire
+(** Recomputes a sparse-Merkle-tree root from a leaf hash wire, the
+    position bits (leaf-to-root, booleans) and sibling hash wires;
+    matches {!Zen_crypto.Smt.verify}. *)
+
+val finalize : name:string -> ctx -> R1cs.circuit * Fp.t array * Fp.t array
+(** Freezes the circuit and returns [(circuit, public, witness)] — the
+    assignment segments accumulated during synthesis. *)

@@ -1,0 +1,138 @@
+open Zen_crypto
+
+type var = int
+
+type lc = (Fp.t * var) list
+
+type constr = { a : lc; b : lc; c : lc; label : string option }
+
+type builder = {
+  mutable next_var : int;
+  mutable num_public : int;
+  mutable witness_started : bool;
+  mutable constraints : constr list; (* reversed *)
+  mutable num_constraints : int;
+}
+
+type circuit = {
+  name : string;
+  n_public : int;
+  n_vars : int;
+  cs : constr array;
+  digest : Hash.t;
+}
+
+let one_var = 0
+
+let create () =
+  {
+    next_var = 1;
+    num_public = 0;
+    witness_started = false;
+    constraints = [];
+    num_constraints = 0;
+  }
+
+let alloc_input b =
+  if b.witness_started then
+    invalid_arg "R1cs.alloc_input: witness allocation already started";
+  let v = b.next_var in
+  b.next_var <- v + 1;
+  b.num_public <- b.num_public + 1;
+  v
+
+let alloc_witness b =
+  b.witness_started <- true;
+  let v = b.next_var in
+  b.next_var <- v + 1;
+  v
+
+let constrain ?label b a bb c =
+  b.constraints <- { a; b = bb; c; label } :: b.constraints;
+  b.num_constraints <- b.num_constraints + 1
+
+let lc_bytes lc =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (coeff, v) ->
+      Buffer.add_string buf (string_of_int (Fp.to_int coeff));
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ';')
+    lc;
+  Buffer.contents buf
+
+let finalize ~name b =
+  let cs = Array.of_list (List.rev b.constraints) in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "zendoo.r1cs.v1";
+  Sha256.feed ctx name;
+  Sha256.feed ctx (string_of_int b.num_public);
+  Sha256.feed ctx (string_of_int b.next_var);
+  Array.iter
+    (fun { a; b = bb; c; _ } ->
+      Sha256.feed ctx (lc_bytes a);
+      Sha256.feed ctx "*";
+      Sha256.feed ctx (lc_bytes bb);
+      Sha256.feed ctx "=";
+      Sha256.feed ctx (lc_bytes c);
+      Sha256.feed ctx "|")
+    cs;
+  {
+    name;
+    n_public = b.num_public;
+    n_vars = b.next_var;
+    cs;
+    digest = Hash.of_raw (Sha256.finalize ctx);
+  }
+
+let name c = c.name
+let num_constraints c = Array.length c.cs
+let num_public c = c.n_public
+let num_vars c = c.n_vars
+let num_witness c = c.n_vars - 1 - c.n_public
+let digest c = c.digest
+
+let eval_lc z lc =
+  List.fold_left (fun acc (coeff, v) -> Fp.add acc (Fp.mul coeff z.(v))) Fp.zero lc
+
+let check circuit z =
+  if Array.length z <> circuit.n_vars then Error "assignment length mismatch"
+  else if not (Fp.equal z.(0) Fp.one) then Error "z.(0) must be 1"
+  else begin
+    let violation = ref None in
+    (try
+       Array.iteri
+         (fun i { a; b; c; label } ->
+           let va = eval_lc z a and vb = eval_lc z b and vc = eval_lc z c in
+           if not (Fp.equal (Fp.mul va vb) vc) then begin
+             let where =
+               match label with
+               | Some l -> Printf.sprintf "constraint %d (%s)" i l
+               | None -> Printf.sprintf "constraint %d" i
+             in
+             violation := Some where;
+             raise Exit
+           end)
+         circuit.cs
+     with Exit -> ());
+    match !violation with
+    | None -> Ok ()
+    | Some where -> Error ("unsatisfied " ^ where)
+  end
+
+let satisfied circuit ~public ~witness =
+  if Array.length public <> circuit.n_public then
+    Error
+      (Printf.sprintf "public input length %d, expected %d"
+         (Array.length public) circuit.n_public)
+  else if Array.length witness <> num_witness circuit then
+    Error
+      (Printf.sprintf "witness length %d, expected %d" (Array.length witness)
+         (num_witness circuit))
+  else begin
+    let z = Array.make circuit.n_vars Fp.one in
+    Array.blit public 0 z 1 (Array.length public);
+    Array.blit witness 0 z (1 + circuit.n_public) (Array.length witness);
+    check circuit z
+  end

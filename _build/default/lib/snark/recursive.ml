@@ -1,0 +1,136 @@
+open Zen_crypto
+
+type transition_proof = {
+  s_from : Fp.t;
+  s_to : Fp.t;
+  extra : Fp.t array; (* tail of the public input; empty for merges *)
+  proof : Backend.proof;
+  vk_digest : Hash.t;
+  depth : int;
+  base_count : int;
+}
+
+type system = {
+  merge_pk : Backend.proving_key;
+  merge_vk : Backend.verification_key;
+  merge_vk_digest : Hash.t;
+  base_vk_by_digest : Backend.verification_key Hash.Map.t;
+}
+
+(* The merge statement circuit: public (s_from, s_to), witness s_mid,
+   plus a Poseidon chain binding all three. Constant size — the
+   simulation stand-in for "verify two child proofs in-circuit". *)
+let synth_merge ~name s_from s_mid s_to =
+  let ctx = Gadget.create () in
+  let w_from = Gadget.input ctx s_from in
+  let w_to = Gadget.input ctx s_to in
+  let w_mid = Gadget.witness ctx s_mid in
+  let h1 = Gadget.poseidon2 ctx w_from w_mid in
+  let h2 = Gadget.poseidon2 ctx h1 w_to in
+  let binding = Gadget.witness ctx (Gadget.value h2) in
+  Gadget.assert_eq ~label:"merge.binding" ctx h2 binding;
+  Gadget.finalize ~name ctx
+
+let create ~name ~base_vks =
+  let circuit, _, _ =
+    synth_merge ~name:(name ^ ".merge") Fp.zero Fp.zero Fp.zero
+  in
+  let merge_pk, merge_vk = Backend.setup circuit in
+  let base_vk_by_digest =
+    List.fold_left
+      (fun acc vk -> Hash.Map.add (Backend.vk_digest vk) vk acc)
+      Hash.Map.empty base_vks
+  in
+  {
+    merge_pk;
+    merge_vk;
+    merge_vk_digest = Backend.vk_digest merge_vk;
+    base_vk_by_digest;
+  }
+
+let merge_vk sys = sys.merge_vk
+
+let base_public ~s_from ~s_to ~extra =
+  Array.append [| s_from; s_to |] extra
+
+let public_of t = base_public ~s_from:t.s_from ~s_to:t.s_to ~extra:t.extra
+
+let verify sys t =
+  let vk =
+    if Hash.equal t.vk_digest sys.merge_vk_digest then Some sys.merge_vk
+    else Hash.Map.find_opt t.vk_digest sys.base_vk_by_digest
+  in
+  match vk with
+  | None -> false
+  | Some vk -> Backend.verify vk ~public:(public_of t) t.proof
+
+let of_base sys ~vk ~s_from ~s_to ~extra proof =
+  let vk_digest = Backend.vk_digest vk in
+  if not (Hash.Map.mem vk_digest sys.base_vk_by_digest) then
+    Error "of_base: unregistered base verification key"
+  else begin
+    let t =
+      { s_from; s_to; extra; proof; vk_digest; depth = 0; base_count = 1 }
+    in
+    if verify sys t then Ok t else Error "of_base: base proof does not verify"
+  end
+
+let merge sys t1 t2 =
+  if not (Fp.equal t1.s_to t2.s_from) then
+    Error "merge: transitions are not adjacent"
+  else if not (verify sys t1) then Error "merge: left child does not verify"
+  else if not (verify sys t2) then Error "merge: right child does not verify"
+  else begin
+    let circuit, public, witness =
+      synth_merge
+        ~name:(R1cs.name (Backend.pk_circuit sys.merge_pk))
+        t1.s_from t1.s_to t2.s_to
+    in
+    (* Structure is value-independent: same circuit as at setup. *)
+    assert (Hash.equal (R1cs.digest circuit) (R1cs.digest (Backend.pk_circuit sys.merge_pk)));
+    match Backend.prove sys.merge_pk ~public ~witness with
+    | Error e -> Error ("merge: " ^ e)
+    | Ok proof ->
+      Ok
+        {
+          s_from = t1.s_from;
+          s_to = t2.s_to;
+          extra = [||];
+          proof;
+          vk_digest = sys.merge_vk_digest;
+          depth = 1 + max t1.depth t2.depth;
+          base_count = t1.base_count + t2.base_count;
+        }
+  end
+
+let rec fold_balanced sys = function
+  | [] -> Error "fold_balanced: empty transition list"
+  | [ t ] -> Ok t
+  | ts ->
+    (* Merge adjacent pairs, halving the list each pass (Fig. 10). *)
+    let rec pass acc = function
+      | [] -> Ok (List.rev acc)
+      | [ t ] -> Ok (List.rev (t :: acc))
+      | t1 :: t2 :: rest -> (
+        match merge sys t1 t2 with
+        | Error e -> Error e
+        | Ok m -> pass (m :: acc) rest)
+    in
+    (match pass [] ts with
+    | Error e -> Error e
+    | Ok next -> fold_balanced sys next)
+
+let fold_sequential sys = function
+  | [] -> Error "fold_sequential: empty transition list"
+  | t :: rest ->
+    List.fold_left
+      (fun acc t2 ->
+        match acc with Error _ as e -> e | Ok t1 -> merge sys t1 t2)
+      (Ok t) rest
+
+let s_from t = t.s_from
+let s_to t = t.s_to
+let depth t = t.depth
+let base_count t = t.base_count
+let final_proof t = t.proof
+let proof_size_bytes t = String.length (Backend.proof_encode t.proof)

@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Amount Backward_transfer Certifiers Direct_validation Hash List Result Zen_baselines Zen_crypto Zen_latus Zendoo

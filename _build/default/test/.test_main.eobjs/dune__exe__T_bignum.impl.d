@@ -1,0 +1,1 @@
+test/t_bignum.ml: Alcotest Bignum List QCheck2 QCheck_alcotest String Zen_crypto

@@ -1,0 +1,1 @@
+test/t_crypto.ml: Alcotest Array Char Fp Fun Hash Int64 List Poseidon QCheck2 QCheck_alcotest Rng Sha256 String Zen_crypto

@@ -1,0 +1,1 @@
+test/t_ec_schnorr.ml: Alcotest Bignum Bytes Char Ec Hash QCheck2 QCheck_alcotest Schnorr String Zen_crypto

@@ -1,0 +1,1 @@
+test/t_merkle.ml: Alcotest Fp Fun Hash List Merkle Option Printf QCheck2 QCheck_alcotest Smt Zen_crypto

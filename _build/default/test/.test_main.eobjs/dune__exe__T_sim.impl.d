@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Amount Chain Chain_state Des Harness List Miner Pow Result Wallet Zen_crypto Zen_latus Zen_mainchain Zen_sim Zendoo

@@ -1,0 +1,1 @@
+test/t_snark.ml: Alcotest Backend Fp Gadget Hash List Poseidon R1cs Recursive Result Smt String Zen_crypto Zen_snark

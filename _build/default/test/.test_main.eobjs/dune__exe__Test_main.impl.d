@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_adversarial T_baselines T_bignum T_cctp T_crypto T_ec_schnorr T_latus T_mainchain T_merkle T_node T_props T_sim T_snark T_verifier_extra T_wire

@@ -1,0 +1,164 @@
+(* SHA-256 vectors, tagged hashing, the SNARK field, Poseidon, RNG. *)
+
+open Zen_crypto
+
+let check = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* FIPS 180-4 test vectors. *)
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      check input expected (Sha256.to_hex (Sha256.digest input)))
+    cases
+
+let test_sha256_incremental () =
+  (* Feeding in odd-sized chunks must agree with one-shot. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  List.iter
+    (fun chunk ->
+      if !pos < String.length msg then begin
+        let n = min chunk (String.length msg - !pos) in
+        Sha256.feed ctx (String.sub msg !pos n);
+        pos := !pos + n
+      end)
+    [ 1; 2; 3; 63; 64; 65; 127; 500; 200; 100 ];
+  Sha256.feed ctx (String.sub msg !pos (String.length msg - !pos));
+  check "incremental = one-shot"
+    (Sha256.to_hex (Sha256.digest msg))
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_hmac () =
+  check "rfc4231-ish"
+    "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+    (Sha256.to_hex
+       (Sha256.hmac ~key:"key" "The quick brown fox jumps over the lazy dog"))
+
+let test_tagged_framing () =
+  (* Length framing must prevent concatenation ambiguity. *)
+  checkb "framing distinguishes splits" false
+    (Hash.equal (Hash.tagged "t" [ "ab"; "c" ]) (Hash.tagged "t" [ "a"; "bc" ]));
+  checkb "tag matters" false
+    (Hash.equal (Hash.tagged "t1" [ "x" ]) (Hash.tagged "t2" [ "x" ]))
+
+let test_hash_hex () =
+  let h = Hash.of_string "hello" in
+  checkb "hex roundtrip" true (Hash.equal h (Hash.of_hex (Hash.to_hex h)));
+  checki "size" 32 (String.length (Hash.to_raw h))
+
+let test_fp_axioms () =
+  let a = Fp.of_int 987654321987 and b = Fp.of_int 123456789123 in
+  checkb "comm add" true (Fp.equal (Fp.add a b) (Fp.add b a));
+  checkb "assoc mul" true
+    (Fp.equal (Fp.mul (Fp.mul a b) a) (Fp.mul a (Fp.mul b a)));
+  checkb "inverse" true (Fp.equal (Fp.mul a (Fp.inv a)) Fp.one);
+  checkb "fermat" true (Fp.equal (Fp.pow a (Fp.p - 1)) Fp.one);
+  checkb "neg" true (Fp.equal (Fp.add a (Fp.neg a)) Fp.zero);
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Fp.inv Fp.zero))
+
+let test_fp_of_int_negative () =
+  checkb "negative residue" true
+    (Fp.equal (Fp.of_int (-1)) (Fp.of_int (Fp.p - 1)))
+
+let test_fp_edge () =
+  (* p reduces to 0; p-1 stays. *)
+  checkb "p = 0" true (Fp.equal (Fp.of_int Fp.p) Fp.zero);
+  checkb "p-1 + 1 = 0" true (Fp.equal (Fp.add (Fp.of_int (Fp.p - 1)) Fp.one) Fp.zero);
+  (* largest products *)
+  let m = Fp.of_int (Fp.p - 1) in
+  checkb "(p-1)^2 = 1" true (Fp.equal (Fp.mul m m) Fp.one)
+
+let test_poseidon_deterministic () =
+  let a = Fp.of_int 17 and b = Fp.of_int 42 in
+  checkb "deterministic" true (Fp.equal (Poseidon.hash2 a b) (Poseidon.hash2 a b));
+  checkb "order matters" false
+    (Fp.equal (Poseidon.hash2 a b) (Poseidon.hash2 b a));
+  checkb "length domain separation" false
+    (Fp.equal (Poseidon.hash_list [ a ]) (Poseidon.hash_list [ a; Fp.zero ]))
+
+let test_poseidon_permutation_bijective_spot () =
+  (* x^17 S-box is a permutation; spot-check the full permutation is
+     injective on a few structured inputs. *)
+  let outs =
+    List.map
+      (fun i ->
+        let o = Poseidon.permute [| Fp.of_int i; Fp.zero; Fp.zero |] in
+        Fp.to_int o.(0))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  checki "distinct outputs" 8 (List.length (List.sort_uniq compare outs))
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  checkb "same stream" true
+    (List.for_all
+       (fun _ -> Int64.equal (Rng.next64 a) (Rng.next64 b))
+       [ 1; 2; 3; 4; 5 ]);
+  let c = Rng.create 43 in
+  checkb "different seed, different stream" false
+    (Int64.equal (Rng.next64 (Rng.create 42)) (Rng.next64 c))
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds"
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 9 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  checki "same multiset" 190 (Array.fold_left ( + ) 0 arr)
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen f)
+
+let gen_fp = QCheck2.Gen.map Fp.of_int QCheck2.Gen.(int_bound max_int)
+
+let props =
+  [
+    prop "fp add assoc" (QCheck2.Gen.triple gen_fp gen_fp gen_fp)
+      (fun (a, b, c) -> Fp.equal (Fp.add (Fp.add a b) c) (Fp.add a (Fp.add b c)));
+    prop "fp mul distributes" (QCheck2.Gen.triple gen_fp gen_fp gen_fp)
+      (fun (a, b, c) ->
+        Fp.equal (Fp.mul a (Fp.add b c)) (Fp.add (Fp.mul a b) (Fp.mul a c)));
+    prop "fp sub inverse of add" (QCheck2.Gen.pair gen_fp gen_fp)
+      (fun (a, b) -> Fp.equal (Fp.sub (Fp.add a b) b) a);
+    prop "fp inv" gen_fp (fun a ->
+        Fp.is_zero a || Fp.equal (Fp.mul a (Fp.inv a)) Fp.one);
+    prop "fp pow homomorphism" (QCheck2.Gen.pair gen_fp (QCheck2.Gen.int_bound 1000))
+      (fun (a, e) -> Fp.equal (Fp.mul (Fp.pow a e) a) (Fp.pow a (e + 1)));
+  ]
+
+let suite =
+  ( "crypto",
+    [
+      Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+      Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+      Alcotest.test_case "hmac" `Quick test_hmac;
+      Alcotest.test_case "tagged framing" `Quick test_tagged_framing;
+      Alcotest.test_case "hash hex" `Quick test_hash_hex;
+      Alcotest.test_case "fp axioms" `Quick test_fp_axioms;
+      Alcotest.test_case "fp negative" `Quick test_fp_of_int_negative;
+      Alcotest.test_case "fp edge cases" `Quick test_fp_edge;
+      Alcotest.test_case "poseidon deterministic" `Quick test_poseidon_deterministic;
+      Alcotest.test_case "poseidon injective spot" `Quick
+        test_poseidon_permutation_bijective_spot;
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    ]
+    @ props )

@@ -1,0 +1,447 @@
+(* Latus components: UTXOs, the MST and its delta (Appendix A), state
+   transitions for all four transaction types, leader election, MC
+   references, blocks and the Latus circuits. *)
+
+open Zen_crypto
+open Zen_latus
+open Zendoo
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let amount n = Amount.of_int_exn n
+
+let params = Params.default
+
+let utxo ?(addr = "addr") ?(amt = 100) nonce_seed =
+  Utxo.make ~addr:(Hash.of_string addr) ~amount:(amount amt)
+    ~nonce:(Hash.of_string nonce_seed)
+
+(* ---- utxo ---- *)
+
+let test_utxo_identity () =
+  let u = utxo "n1" in
+  checkb "stable position" true
+    (Utxo.position ~mst_depth:12 u = Utxo.position ~mst_depth:12 u);
+  checkb "nullifier distinct per utxo" false
+    (Hash.equal (Utxo.nullifier u) (Utxo.nullifier (utxo "n2")));
+  match Utxo.decode (Utxo.encode u) with
+  | Some u' -> checkb "encode roundtrip" true (Utxo.equal u u')
+  | None -> Alcotest.fail "decode failed"
+
+let test_utxo_commitment_binds_fields () =
+  let u = utxo ~amt:100 "n1" in
+  let u2 = utxo ~amt:101 "n1" in
+  checkb "amount changes commitment" false
+    (Fp.equal (Utxo.commitment u) (Utxo.commitment u2))
+
+(* ---- mst + delta ---- *)
+
+let test_mst_insert_remove () =
+  let m = Mst.create params in
+  let u = utxo "a" in
+  let m1, pos = ok (Mst.insert m u) in
+  checkb "present" true (Mst.find_utxo m1 u = Some pos);
+  checkb "collision rejected" true (Result.is_error (Mst.insert m1 u));
+  let m2, _ = ok (Mst.remove m1 u) in
+  checkb "gone" true (Mst.find_utxo m2 u = None);
+  checkb "root restored" true (Fp.equal (Mst.root m) (Mst.root m2));
+  checkb "remove absent fails" true (Result.is_error (Mst.remove m2 u))
+
+let test_mst_balance () =
+  let m = Mst.create params in
+  let m, _ = ok (Mst.insert m (utxo ~addr:"alice" ~amt:5 "x")) in
+  let m, _ = ok (Mst.insert m (utxo ~addr:"alice" ~amt:7 "y")) in
+  let m, _ = ok (Mst.insert m (utxo ~addr:"bob" ~amt:11 "z")) in
+  checki "alice" 12 (Amount.to_int (Mst.balance_of m (Hash.of_string "alice")));
+  checki "bob" 11 (Amount.to_int (Mst.balance_of m (Hash.of_string "bob")));
+  checki "total" 23 (Amount.to_int (Mst.total_value m))
+
+let test_mst_delta () =
+  let m = Mst.create params in
+  let u1 = utxo "d1" and u2 = utxo "d2" in
+  let m, p1 = ok (Mst.insert m u1) in
+  let m, p2 = ok (Mst.insert m u2) in
+  let delta = Mst.delta_bits m in
+  checkb "bit p1" true (Mst.delta_bit delta p1);
+  checkb "bit p2" true (Mst.delta_bit delta p2);
+  checki "exactly two" 2 (List.length (Mst.modified_since_snapshot m));
+  (* snapshot clears; removal after snapshot re-marks *)
+  let m = Mst.snapshot m in
+  checki "cleared" 0 (List.length (Mst.modified_since_snapshot m));
+  let m, _ = ok (Mst.remove m u1) in
+  let delta2 = Mst.delta_bits m in
+  checkb "re-marked" true (Mst.delta_bit delta2 p1);
+  checkb "untouched not marked" false (Mst.delta_bit delta2 p2)
+
+let test_mst_delta_appendix_a_scenario () =
+  (* Appendix A: prove a utxo survived epochs by unset delta bits. *)
+  let m = Mst.create params in
+  let survivor = utxo "appendix-survivor" in
+  let m, pos = ok (Mst.insert m survivor) in
+  let m = Mst.snapshot m in
+  (* epoch 2: unrelated activity *)
+  let m, _ = ok (Mst.insert m (utxo "other1")) in
+  let delta_e2 = Mst.delta_bits m in
+  checkb "survivor untouched in e2" false (Mst.delta_bit delta_e2 pos);
+  let m = Mst.snapshot m in
+  (* epoch 3: survivor is spent *)
+  let m, _ = ok (Mst.remove m survivor) in
+  let delta_e3 = Mst.delta_bits m in
+  checkb "survivor touched in e3" true (Mst.delta_bit delta_e3 pos)
+
+(* ---- proofs over mst slots ---- *)
+
+let test_mst_slot_proofs () =
+  let m = Mst.create params in
+  let u = utxo "slot" in
+  let m, pos = ok (Mst.insert m u) in
+  let p = Mst.prove_slot m pos in
+  checkb "member" true
+    (Mst.verify_slot ~root:(Mst.root m) ~pos ~utxo:(Some u)
+       ~depth:params.mst_depth p);
+  checkb "wrong utxo" false
+    (Mst.verify_slot ~root:(Mst.root m) ~pos ~utxo:(Some (utxo "imposter"))
+       ~depth:params.mst_depth p)
+
+(* ---- state / transactions ---- *)
+
+let wallet seed =
+  let w = Sc_wallet.create ~seed in
+  let addr = Sc_wallet.fresh_address w in
+  (w, addr)
+
+let state_with utxos =
+  let st = Sc_state.create params in
+  let mst =
+    List.fold_left (fun m u -> fst (ok (Mst.insert m u))) st.Sc_state.mst utxos
+  in
+  Sc_state.with_mst st mst
+
+let test_payment_roundtrip () =
+  let w1, a1 = wallet "pay1" in
+  let _w2, a2 = wallet "pay2" in
+  let coin = Utxo.make ~addr:a1 ~amount:(amount 100) ~nonce:(Hash.of_string "c") in
+  let st = state_with [ coin ] in
+  let tx = ok (Sc_wallet.build_payment w1 st ~to_:a2 ~amount:(amount 30)) in
+  let st' = ok (Sc_tx.apply st tx) in
+  checki "receiver" 30 (Amount.to_int (Mst.balance_of st'.Sc_state.mst a2));
+  checki "change" 70 (Amount.to_int (Mst.balance_of st'.Sc_state.mst a1));
+  checki "value conserved" 100 (Amount.to_int (Mst.total_value st'.Sc_state.mst))
+
+let test_payment_rejects_bad_sig () =
+  let w1, a1 = wallet "sig1" in
+  let _w2, a2 = wallet "sig2" in
+  let coin = Utxo.make ~addr:a1 ~amount:(amount 100) ~nonce:(Hash.of_string "c") in
+  let st = state_with [ coin ] in
+  let tx = ok (Sc_wallet.build_payment w1 st ~to_:a2 ~amount:(amount 30)) in
+  match tx with
+  | Sc_tx.Payment p ->
+    (* Swap outputs after signing: signature must fail. *)
+    let tampered = Sc_tx.Payment { p with outputs = List.rev p.outputs } in
+    checkb "tamper rejected" true (Result.is_error (Sc_tx.validate st tampered))
+  | _ -> Alcotest.fail "expected payment"
+
+let test_payment_rejects_overdraw_and_foreign_nonce () =
+  let w1, a1 = wallet "over1" in
+  let _w2, a2 = wallet "over2" in
+  let coin = Utxo.make ~addr:a1 ~amount:(amount 10) ~nonce:(Hash.of_string "c") in
+  let st = state_with [ coin ] in
+  checkb "overdraw" true
+    (Result.is_error (Sc_wallet.build_payment w1 st ~to_:a2 ~amount:(amount 30)));
+  (* Forged output nonce breaks the nonce discipline. *)
+  let inputs = [ coin ] in
+  let outputs =
+    [ Utxo.make ~addr:a2 ~amount:(amount 10) ~nonce:(Hash.of_string "forged") ]
+  in
+  let sighash = Sc_tx.payment_sighash ~inputs ~outputs in
+  let witnesses =
+    [ Option.get (Sc_wallet.sign_request w1 ~addr:a1 ~msg:(Hash.to_raw sighash)) ]
+  in
+  checkb "foreign nonce rejected" true
+    (Result.is_error
+       (Sc_tx.validate st (Sc_tx.Payment { inputs; witnesses; outputs })))
+
+let test_ft_accept_and_reject () =
+  let _w, recv = wallet "ftr" in
+  let payback = Hash.of_string "payback-addr" in
+  let st = Sc_state.create params in
+  let ft =
+    Forward_transfer.make ~ledger_id:Hash.zero
+      ~receiver_metadata:(Sc_tx.ft_metadata ~receiver:recv ~payback)
+      ~amount:(amount 55)
+  in
+  (match Sc_tx.ft_outcome st ft with
+  | Sc_tx.Ft_accepted u ->
+    checkb "addressed to receiver" true (Hash.equal u.Utxo.addr recv)
+  | Sc_tx.Ft_rejected _ -> Alcotest.fail "valid ft rejected");
+  (* malformed metadata -> rejected with a BT *)
+  let bad =
+    Forward_transfer.make ~ledger_id:Hash.zero ~receiver_metadata:"short"
+      ~amount:(amount 5)
+  in
+  (match Sc_tx.ft_outcome st bad with
+  | Sc_tx.Ft_rejected bt ->
+    checki "amount preserved" 5 (Amount.to_int bt.Backward_transfer.amount)
+  | Sc_tx.Ft_accepted _ -> Alcotest.fail "malformed ft accepted");
+  (* applying the FTTx mints coins *)
+  let st' =
+    ok
+      (Sc_tx.apply st
+         (Sc_tx.Forward_transfers_tx { mcid = Hash.zero; fts = [ ft; bad ] }))
+  in
+  checki "minted" 55 (Amount.to_int (Mst.balance_of st'.Sc_state.mst recv));
+  checki "rejected became bt" 1
+    (List.length st'.Sc_state.backward_transfers)
+
+let test_ft_slot_collision () =
+  let _w, recv = wallet "coll" in
+  let payback = Hash.of_string "pb" in
+  let ft =
+    Forward_transfer.make ~ledger_id:Hash.zero
+      ~receiver_metadata:(Sc_tx.ft_metadata ~receiver:recv ~payback)
+      ~amount:(amount 5)
+  in
+  (* Pre-occupy the exact slot this FT's utxo maps to. *)
+  let nonce = Utxo.derive_nonce ~source:(Forward_transfer.hash ft) ~index:0 in
+  let squatter = Utxo.make ~addr:recv ~amount:(amount 1) ~nonce in
+  let st = state_with [ squatter ] in
+  match Sc_tx.ft_outcome st ft with
+  | Sc_tx.Ft_rejected bt ->
+    checkb "payback address" true
+      (Hash.equal bt.Backward_transfer.receiver_addr payback)
+  | Sc_tx.Ft_accepted _ -> Alcotest.fail "collision not detected"
+
+let test_bt_tx () =
+  let w1, a1 = wallet "bt1" in
+  let coin = Utxo.make ~addr:a1 ~amount:(amount 40) ~nonce:(Hash.of_string "c") in
+  let st = state_with [ coin ] in
+  let mc_recv = Hash.of_string "mc-addr" in
+  let tx = ok (Sc_wallet.build_backward_transfer w1 st ~utxo:coin ~mc_receiver:mc_recv) in
+  let st' = ok (Sc_tx.apply st tx) in
+  checki "coin burnt" 0 (Amount.to_int (Mst.balance_of st'.Sc_state.mst a1));
+  checki "bt recorded" 1 (List.length st'.Sc_state.backward_transfers);
+  checkb "bt acc moved" false (Fp.equal st'.Sc_state.bt_acc Fp.zero)
+
+let test_btr_tx () =
+  let _w1, a1 = wallet "btr1" in
+  let coin = Utxo.make ~addr:a1 ~amount:(amount 25) ~nonce:(Hash.of_string "c") in
+  let st = state_with [ coin ] in
+  let btr =
+    Mainchain_withdrawal.make ~kind:Mainchain_withdrawal.Btr
+      ~ledger_id:Hash.zero ~receiver:(Hash.of_string "mc")
+      ~amount:(amount 25) ~nullifier:(Utxo.nullifier coin)
+      ~proofdata:[ Proofdata.Blob (Utxo.encode coin) ]
+      ~proof:Zen_snark.Backend.dummy_proof
+  in
+  (match Sc_tx.btr_outcome st btr with
+  | Sc_tx.Btr_accepted _ -> ()
+  | Sc_tx.Btr_skipped e -> Alcotest.fail e);
+  let st' =
+    ok
+      (Sc_tx.apply st
+         (Sc_tx.Backward_transfer_requests_tx { mcid = Hash.zero; btrs = [ btr ] }))
+  in
+  checki "bt recorded" 1 (List.length st'.Sc_state.backward_transfers);
+  (* double-sync: utxo gone, BTR skipped without failing the tx *)
+  let st'' =
+    ok
+      (Sc_tx.apply st'
+         (Sc_tx.Backward_transfer_requests_tx { mcid = Hash.zero; btrs = [ btr ] }))
+  in
+  checki "skip keeps bts" 1 (List.length st''.Sc_state.backward_transfers)
+
+let test_state_hash_tracks_components () =
+  let st = Sc_state.create params in
+  let st_bt =
+    Sc_state.append_bt st
+      (Backward_transfer.make ~receiver_addr:Hash.zero ~amount:(amount 1))
+  in
+  checkb "bt changes hash" false
+    (Fp.equal (Sc_state.hash st) (Sc_state.hash st_bt));
+  let reset = Sc_state.reset_epoch st_bt in
+  checkb "reset restores hash" true
+    (Fp.equal (Sc_state.hash st) (Sc_state.hash reset))
+
+(* ---- leader election ---- *)
+
+let test_leader_deterministic_and_proportional () =
+  let a = Hash.of_string "staker-a" and b = Hash.of_string "staker-b" in
+  let d = Leader.of_list [ (a, amount 900); (b, amount 100) ] in
+  let rand = Hash.of_string "epoch-rand" in
+  let l1 = Leader.select d ~rand ~slot:5 in
+  checkb "deterministic" true (l1 = Leader.select d ~rand ~slot:5);
+  let wins_a = ref 0 in
+  for slot = 0 to 999 do
+    match Leader.select d ~rand ~slot with
+    | Some l when Hash.equal l a -> incr wins_a
+    | _ -> ()
+  done;
+  (* 90% stake: expect roughly 900 slots, allow generous tolerance. *)
+  checkb
+    (Printf.sprintf "proportional (a won %d)" !wins_a)
+    true
+    (!wins_a > 850 && !wins_a < 950)
+
+let test_leader_empty () =
+  checkb "empty yields none" true
+    (Leader.select (Leader.of_list []) ~rand:Hash.zero ~slot:0 = None)
+
+let test_leader_of_mst () =
+  let m = Mst.create params in
+  let m, _ = ok (Mst.insert m (utxo ~addr:"s1" ~amt:10 "l1")) in
+  let m, _ = ok (Mst.insert m (utxo ~addr:"s1" ~amt:10 "l2")) in
+  let d = Leader.of_mst m in
+  checki "total stake" 20 (Amount.to_int (Leader.total_stake d))
+
+(* ---- circuits ---- *)
+
+let family = Circuits.make params
+
+let test_step_proofs_all_kinds () =
+  let st = Sc_state.create params in
+  let u = utxo "step-u" in
+  (* insert *)
+  let proof, vk, s_from, s_to = ok (Circuits.prove_step family st (Sc_tx.Insert u)) in
+  let public = Zen_snark.Recursive.base_public ~s_from ~s_to ~extra:[||] in
+  checkb "insert verifies" true (Zen_snark.Backend.verify vk ~public proof);
+  checkb "s_from = state" true (Fp.equal s_from (Sc_state.hash st));
+  let st1 = ok (Sc_tx.apply_step st (Sc_tx.Insert u)) in
+  checkb "s_to matches" true (Fp.equal s_to (Sc_state.hash st1));
+  (* remove *)
+  let proof, vk, s_from, s_to = ok (Circuits.prove_step family st1 (Sc_tx.Remove u)) in
+  let public = Zen_snark.Recursive.base_public ~s_from ~s_to ~extra:[||] in
+  checkb "remove verifies" true (Zen_snark.Backend.verify vk ~public proof);
+  ignore s_from;
+  (* append_bt *)
+  let bt = Backward_transfer.make ~receiver_addr:Hash.zero ~amount:(amount 3) in
+  let proof, vk, s_from2, s_to2 =
+    ok (Circuits.prove_step family st1 (Sc_tx.Append_bt bt))
+  in
+  let public = Zen_snark.Recursive.base_public ~s_from:s_from2 ~s_to:s_to2 ~extra:[||] in
+  checkb "append verifies" true (Zen_snark.Backend.verify vk ~public proof);
+  ignore s_to
+
+let test_step_proof_requires_valid_step () =
+  let st = Sc_state.create params in
+  let u = utxo "ghost" in
+  checkb "remove absent fails" true
+    (Result.is_error (Circuits.prove_step family st (Sc_tx.Remove u)))
+
+let test_ownership_proof () =
+  let u = utxo "own" in
+  let m, _ = ok (Mst.insert (Mst.create params) u) in
+  let receiver = Hash.of_string "mc-recv" in
+  let reference_block = Hash.of_string "refblock" in
+  let proofdata = [ Proofdata.Blob (Utxo.encode u) ] in
+  let proof =
+    ok (Circuits.prove_ownership family ~mst:m ~utxo:u ~reference_block ~receiver ~proofdata)
+  in
+  let public =
+    Array.append
+      (Mainchain_withdrawal.sysdata ~reference_block
+         ~nullifier:(Utxo.nullifier u) ~receiver ~amount:u.Utxo.amount)
+      [| Proofdata.root_fp proofdata |]
+  in
+  checkb "verifies" true
+    (Zen_snark.Backend.verify (Circuits.ownership_keys family).vk ~public proof);
+  (* claiming a different amount must fail verification *)
+  let forged =
+    Array.append
+      (Mainchain_withdrawal.sysdata ~reference_block
+         ~nullifier:(Utxo.nullifier u) ~receiver ~amount:(amount 999999))
+      [| Proofdata.root_fp proofdata |]
+  in
+  checkb "forged amount rejected" false
+    (Zen_snark.Backend.verify (Circuits.ownership_keys family).vk ~public:forged proof);
+  (* a utxo not in the tree cannot be proven *)
+  checkb "absent utxo" true
+    (Result.is_error
+       (Circuits.prove_ownership family ~mst:m ~utxo:(utxo "absent")
+          ~reference_block ~receiver ~proofdata))
+
+(* ---- prover pool (§5.4.1) ---- *)
+
+let test_prover_pool_dispatch_uniform () =
+  let rng = Rng.create 5 in
+  let a = Prover_pool.dispatch ~rng ~workers:4 ~tasks:4000 in
+  let counts = Array.make 4 0 in
+  Array.iter (fun w -> counts.(w) <- counts.(w) + 1) a;
+  Array.iter
+    (fun c ->
+      checkb (Printf.sprintf "roughly uniform (%d)" c) true
+        (c > 800 && c < 1200))
+    counts
+
+let test_prover_pool_epoch () =
+  let st = Sc_state.create params in
+  let steps =
+    List.init 6 (fun i ->
+        Sc_tx.Insert
+          (Utxo.make ~addr:(Hash.of_string "pool") ~amount:(amount (i + 1))
+             ~nonce:(Hash.of_string (Printf.sprintf "pp-%d" i))))
+  in
+  let proofs, stats =
+    ok (Prover_pool.prove_epoch family ~initial:st ~steps ~workers:3 ~seed:11)
+  in
+  checki "all tasks proven" 6 stats.Prover_pool.tasks;
+  checki "all rewarded" 6
+    (List.fold_left (fun a (_, r) -> a + r) 0 stats.Prover_pool.rewards);
+  (* proofs chain across the whole epoch *)
+  let rsys =
+    Zen_snark.Recursive.create ~name:"pool-test" ~base_vks:(Circuits.base_vks family)
+  in
+  let top = ok (Prover_pool.merge_all family rsys proofs) in
+  checkb "merged proof verifies" true (Zen_snark.Recursive.verify rsys top);
+  checkb "spans the epoch" true
+    (Fp.equal (Zen_snark.Recursive.s_from top) (Sc_state.hash st));
+  checki "covers all steps" 6 (Zen_snark.Recursive.base_count top)
+
+(* ---- sc blocks ---- *)
+
+let test_sc_block_signature () =
+  let w = Sc_wallet.create ~seed:"forger-sig" in
+  let addr = Sc_wallet.fresh_address w in
+  let sk = Option.get (Sc_wallet.secret_for w addr) in
+  let b =
+    Sc_block.forge ~parent:Sc_block.genesis_parent ~height:0 ~slot:3 ~sk
+      ~mc_refs:[] ~txs:[] ~state_hash:Fp.zero
+  in
+  checkb "signature valid" true (Sc_block.verify_signature b);
+  checkb "forger addr" true (Hash.equal (Sc_block.forger_addr b) addr);
+  let tampered = { b with Sc_block.height = 1 } in
+  checkb "tamper detected" false (Sc_block.verify_signature tampered)
+
+let suite =
+  ( "latus",
+    [
+      Alcotest.test_case "utxo identity" `Quick test_utxo_identity;
+      Alcotest.test_case "utxo commitment" `Quick test_utxo_commitment_binds_fields;
+      Alcotest.test_case "mst insert/remove" `Quick test_mst_insert_remove;
+      Alcotest.test_case "mst balance" `Quick test_mst_balance;
+      Alcotest.test_case "mst delta" `Quick test_mst_delta;
+      Alcotest.test_case "mst delta appendix A" `Quick
+        test_mst_delta_appendix_a_scenario;
+      Alcotest.test_case "mst slot proofs" `Quick test_mst_slot_proofs;
+      Alcotest.test_case "payment roundtrip" `Quick test_payment_roundtrip;
+      Alcotest.test_case "payment bad sig" `Quick test_payment_rejects_bad_sig;
+      Alcotest.test_case "payment overdraw/nonce" `Quick
+        test_payment_rejects_overdraw_and_foreign_nonce;
+      Alcotest.test_case "ft accept/reject" `Quick test_ft_accept_and_reject;
+      Alcotest.test_case "ft slot collision" `Quick test_ft_slot_collision;
+      Alcotest.test_case "bt tx" `Quick test_bt_tx;
+      Alcotest.test_case "btr tx" `Quick test_btr_tx;
+      Alcotest.test_case "state hash" `Quick test_state_hash_tracks_components;
+      Alcotest.test_case "leader proportional" `Quick
+        test_leader_deterministic_and_proportional;
+      Alcotest.test_case "leader empty" `Quick test_leader_empty;
+      Alcotest.test_case "leader of mst" `Quick test_leader_of_mst;
+      Alcotest.test_case "step proofs" `Quick test_step_proofs_all_kinds;
+      Alcotest.test_case "step proof validity" `Quick
+        test_step_proof_requires_valid_step;
+      Alcotest.test_case "ownership proof" `Quick test_ownership_proof;
+      Alcotest.test_case "prover pool dispatch" `Quick
+        test_prover_pool_dispatch_uniform;
+      Alcotest.test_case "prover pool epoch" `Quick test_prover_pool_epoch;
+      Alcotest.test_case "sc block signature" `Quick test_sc_block_signature;
+    ] )

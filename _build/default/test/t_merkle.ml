@@ -1,0 +1,176 @@
+(* Merkle hash trees (Fig. 2) and the sparse Merkle tree behind the MST. *)
+
+open Zen_crypto
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let data n = List.init n (fun i -> Printf.sprintf "block-%d" i)
+
+let test_mht_roundtrip () =
+  List.iter
+    (fun n ->
+      let t = Merkle.of_data (data n) in
+      List.iteri
+        (fun i d ->
+          let p = Merkle.prove t i in
+          checkb
+            (Printf.sprintf "n=%d i=%d" n i)
+            true
+            (Merkle.verify ~root:(Merkle.root t) ~leaf:(Hash.of_string d) p))
+        (data n))
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33 ]
+
+let test_mht_rejects_wrong_leaf () =
+  let t = Merkle.of_data (data 8) in
+  let p = Merkle.prove t 3 in
+  checkb "wrong leaf" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:(Hash.of_string "evil") p);
+  (* proof for index 3 must not verify at another position's leaf *)
+  checkb "wrong index leaf" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:(Hash.of_string "block-4") p)
+
+let test_mht_rejects_wrong_root () =
+  let t = Merkle.of_data (data 8) in
+  let t2 = Merkle.of_data (data 9) in
+  let p = Merkle.prove t 0 in
+  checkb "wrong root" false
+    (Merkle.verify ~root:(Merkle.root t2) ~leaf:(Hash.of_string "block-0") p)
+
+let test_mht_depth_log () =
+  checki "8 leaves" 3 (Merkle.depth (Merkle.of_data (data 8)));
+  checki "9 leaves" 4 (Merkle.depth (Merkle.of_data (data 9)));
+  checki "1 leaf" 0 (Merkle.depth (Merkle.of_data (data 1)))
+
+let test_mht_empty () =
+  let t = Merkle.of_leaves [] in
+  checki "no leaves" 0 (Merkle.leaf_count t);
+  (* Root of empty tree is well-defined and distinct from any data tree. *)
+  checkb "distinct from singleton" false
+    (Hash.equal (Merkle.root t) (Merkle.root (Merkle.of_data [ "" ])))
+
+let test_mht_second_preimage_guard () =
+  (* A leaf equal to an interior node's raw value must not verify at
+     the wrong layer: leaf/node tags differ. *)
+  let t = Merkle.of_data (data 4) in
+  let p = Merkle.prove t 0 in
+  let fake = Merkle.leaf_hash (Hash.of_string "block-0") in
+  checkb "tag separation" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:fake p)
+
+(* ---- SMT ---- *)
+
+let fp = Fp.of_int
+
+let test_smt_set_get_remove () =
+  let t = Smt.create ~depth:8 in
+  let t = Smt.set t 5 (fp 55) in
+  let t = Smt.set t 200 (fp 77) in
+  Alcotest.(check (option int))
+    "get 5" (Some 55)
+    (Option.map Fp.to_int (Smt.get t 5));
+  checki "occupied" 2 (Smt.occupied t);
+  let t = Smt.remove t 5 in
+  Alcotest.(check (option int)) "removed" None (Option.map Fp.to_int (Smt.get t 5));
+  checki "occupied after remove" 1 (Smt.occupied t)
+
+let test_smt_empty_root_depth_dependent () =
+  checkb "roots differ by depth" false
+    (Fp.equal (Smt.root (Smt.create ~depth:4)) (Smt.root (Smt.create ~depth:5)))
+
+let test_smt_remove_restores_root () =
+  let t0 = Smt.create ~depth:10 in
+  let t1 = Smt.set t0 17 (fp 1) in
+  let t2 = Smt.remove t1 17 in
+  checkb "root restored" true (Fp.equal (Smt.root t0) (Smt.root t2))
+
+let test_smt_proofs () =
+  let t = List.fold_left (fun t i -> Smt.set t i (fp (i * 7))) (Smt.create ~depth:10)
+      [ 0; 1; 513; 1023 ] in
+  List.iter
+    (fun pos ->
+      let p = Smt.prove t pos in
+      checkb
+        (Printf.sprintf "member %d" pos)
+        true
+        (Smt.verify ~root:(Smt.root t) ~pos ~leaf:(Some (fp (pos * 7))) ~depth:10 p))
+    [ 0; 1; 513; 1023 ];
+  (* non-membership *)
+  let p = Smt.prove t 2 in
+  checkb "empty slot" true
+    (Smt.verify ~root:(Smt.root t) ~pos:2 ~leaf:None ~depth:10 p);
+  checkb "wrong value rejected" false
+    (Smt.verify ~root:(Smt.root t) ~pos:2 ~leaf:(Some (fp 9)) ~depth:10 p)
+
+let test_smt_order_independence () =
+  let ops = [ (3, 30); (900, 90); (44, 44); (1000, 10) ] in
+  let build l =
+    List.fold_left (fun t (p, v) -> Smt.set t p (fp v)) (Smt.create ~depth:10) l
+  in
+  checkb "insertion order irrelevant" true
+    (Fp.equal (Smt.root (build ops)) (Smt.root (build (List.rev ops))))
+
+let test_smt_bounds () =
+  let t = Smt.create ~depth:4 in
+  Alcotest.check_raises "oob" (Invalid_argument "Smt: position out of range")
+    (fun () -> ignore (Smt.get t 16))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:100 gen f)
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_bound 40)
+      (pair (int_bound 255) (map Fp.of_int (int_bound 1000000))))
+
+let props =
+  [
+    prop "smt fold = applied ops" gen_ops (fun ops ->
+        let t =
+          List.fold_left (fun t (p, v) -> Smt.set t p v) (Smt.create ~depth:8) ops
+        in
+        let expected =
+          List.fold_left (fun m (p, v) -> (p, v) :: List.remove_assoc p m) [] ops
+        in
+        Smt.occupied t = List.length expected
+        && List.for_all
+             (fun (p, v) ->
+               match Smt.get t p with Some v' -> Fp.equal v v' | None -> false)
+             expected);
+    prop "smt proofs verify for random ops" gen_ops (fun ops ->
+        let t =
+          List.fold_left (fun t (p, v) -> Smt.set t p v) (Smt.create ~depth:8) ops
+        in
+        List.for_all
+          (fun (p, _) ->
+            Smt.verify ~root:(Smt.root t) ~pos:p ~leaf:(Smt.get t p) ~depth:8
+              (Smt.prove t p))
+          ops);
+    prop "mht proofs verify for random sizes" QCheck2.Gen.(int_range 1 64)
+      (fun n ->
+        let t = Merkle.of_data (data n) in
+        List.for_all
+          (fun i ->
+            Merkle.verify ~root:(Merkle.root t)
+              ~leaf:(Hash.of_string (Printf.sprintf "block-%d" i))
+              (Merkle.prove t i))
+          (List.init n Fun.id));
+  ]
+
+let suite =
+  ( "merkle",
+    [
+      Alcotest.test_case "mht roundtrip" `Quick test_mht_roundtrip;
+      Alcotest.test_case "mht wrong leaf" `Quick test_mht_rejects_wrong_leaf;
+      Alcotest.test_case "mht wrong root" `Quick test_mht_rejects_wrong_root;
+      Alcotest.test_case "mht depth" `Quick test_mht_depth_log;
+      Alcotest.test_case "mht empty" `Quick test_mht_empty;
+      Alcotest.test_case "mht second preimage" `Quick test_mht_second_preimage_guard;
+      Alcotest.test_case "smt set/get/remove" `Quick test_smt_set_get_remove;
+      Alcotest.test_case "smt empty roots" `Quick test_smt_empty_root_depth_dependent;
+      Alcotest.test_case "smt remove restores" `Quick test_smt_remove_restores_root;
+      Alcotest.test_case "smt proofs" `Quick test_smt_proofs;
+      Alcotest.test_case "smt order independence" `Quick test_smt_order_independence;
+      Alcotest.test_case "smt bounds" `Quick test_smt_bounds;
+    ]
+    @ props )

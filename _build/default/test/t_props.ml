@@ -1,0 +1,233 @@
+(* Cross-cutting protocol invariants as property tests: value
+   conservation, step decomposition, delta consistency, chain supply,
+   commitment completeness. *)
+
+open Zen_crypto
+open Zen_latus
+open Zendoo
+
+let amount n = Amount.of_int_exn n
+let params = Params.default
+
+let prop ?(count = 15) ?print name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen f)
+
+(* Generator: a random but well-formed workload over two wallets,
+   described abstractly and interpreted against a state. *)
+type action =
+  | Do_ft of int * int (* user, amount *)
+  | Do_pay of int * int * int (* from, to, amount *)
+  | Do_bt of int (* user spends their first coin *)
+
+let gen_action =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun u a -> Do_ft (u, 1 + a)) (int_bound 1) (int_bound 10_000);
+        map3
+          (fun f t a -> Do_pay (f, t, 1 + a))
+          (int_bound 1) (int_bound 1) (int_bound 5_000);
+        map (fun u -> Do_bt u) (int_bound 1);
+      ])
+
+let gen_workload = QCheck2.Gen.(list_size (int_range 1 12) gen_action)
+
+let show_action = function
+  | Do_ft (u, a) -> Printf.sprintf "FT(%d,%d)" u a
+  | Do_pay (f, t, a) -> Printf.sprintf "PAY(%d,%d,%d)" f t a
+  | Do_bt u -> Printf.sprintf "BT(%d)" u
+
+let show_workload ws = String.concat " " (List.map show_action ws)
+
+type interp = {
+  state : Sc_state.t;
+  ft_in : int;
+      (* total forward-transfer value entering the system — including
+         rejected FTs, whose coins were destroyed on the MC and leave
+         again through bounce backward transfers *)
+  bt_out : int; (* total value moved into backward transfers *)
+}
+
+let interpret wallets actions =
+  let addrs = Array.map (fun w -> List.hd (Sc_wallet.addresses w)) wallets in
+  let counter = ref 0 in
+  List.fold_left
+    (fun acc action ->
+      incr counter;
+      match action with
+      | Do_ft (u, a) -> (
+        let ft =
+          Forward_transfer.make ~ledger_id:Hash.zero
+            ~receiver_metadata:
+              (Sc_tx.ft_metadata ~receiver:addrs.(u) ~payback:addrs.(u))
+            ~amount:(amount a)
+        in
+        let bounced =
+          match Sc_tx.ft_outcome acc.state ft with
+          | Sc_tx.Ft_accepted _ -> 0
+          | Sc_tx.Ft_rejected _ -> a
+        in
+        match
+          Sc_tx.apply acc.state
+            (Sc_tx.Forward_transfers_tx { mcid = Hash.zero; fts = [ ft ] })
+        with
+        | Ok state ->
+          { state; ft_in = acc.ft_in + a; bt_out = acc.bt_out + bounced }
+        | Error _ -> acc)
+      | Do_pay (f, t, a) -> (
+        match
+          Sc_wallet.build_payment wallets.(f) acc.state ~to_:addrs.(t)
+            ~amount:(amount a)
+        with
+        | Error _ -> acc
+        | Ok tx -> (
+          match Sc_tx.apply acc.state tx with
+          | Ok state -> { acc with state }
+          | Error _ -> acc))
+      | Do_bt u -> (
+        match Sc_wallet.utxos wallets.(u) acc.state with
+        | [] -> acc
+        | coin :: _ -> (
+          match
+            Sc_wallet.build_backward_transfer wallets.(u) acc.state ~utxo:coin
+              ~mc_receiver:addrs.(u)
+          with
+          | Error _ -> acc
+          | Ok tx -> (
+            match Sc_tx.apply acc.state tx with
+            | Ok state ->
+              { acc with state; bt_out = acc.bt_out + Amount.to_int coin.Utxo.amount }
+            | Error _ -> acc))))
+    {
+      state = Sc_state.create params;
+      ft_in = 0;
+      bt_out = 0;
+    }
+    actions
+
+let fresh_wallets seed =
+  Array.init 2 (fun i ->
+      let w = Sc_wallet.create ~seed:(Printf.sprintf "%s.%d" seed i) in
+      let (_ : Hash.t) = Sc_wallet.fresh_address w in
+      w)
+
+let seed_counter = ref 0
+
+let props =
+  [
+    prop "value conservation: mst = ft_in - bt_out" ~print:show_workload
+      gen_workload
+      (fun actions ->
+        incr seed_counter;
+        let wallets = fresh_wallets (Printf.sprintf "cons%d" !seed_counter) in
+        let r = interpret wallets actions in
+        (* The MST holds exactly what came in minus what left as
+           backward transfers (bounce-BTs of rejected FTs included),
+           and the recorded BT list accounts for every departed coin. *)
+        let bt_list_total =
+          List.fold_left
+            (fun acc (bt : Backward_transfer.t) -> acc + Amount.to_int bt.amount)
+            0 r.state.Sc_state.backward_transfers
+        in
+        Amount.to_int (Mst.total_value r.state.Sc_state.mst)
+        = r.ft_in - r.bt_out
+        && bt_list_total = r.bt_out);
+    prop "bt accumulator replays the bt list" gen_workload (fun actions ->
+        incr seed_counter;
+        let wallets = fresh_wallets (Printf.sprintf "acc%d" !seed_counter) in
+        let r = interpret wallets actions in
+        let replayed =
+          List.fold_left Sc_state.bt_acc_step Fp.zero
+            r.state.Sc_state.backward_transfers
+        in
+        Fp.equal replayed r.state.Sc_state.bt_acc);
+    prop "apply equals folding its own steps" gen_workload (fun actions ->
+        incr seed_counter;
+        let wallets = fresh_wallets (Printf.sprintf "steps%d" !seed_counter) in
+        (* Interpret while checking each applied tx both ways. *)
+        let addrs = Array.map (fun w -> List.hd (Sc_wallet.addresses w)) wallets in
+        let check_tx state tx =
+          match Sc_tx.steps state tx with
+          | Error _ -> true
+          | Ok steps ->
+            let via_steps =
+              List.fold_left
+                (fun acc s -> Result.bind acc (fun st -> Sc_tx.apply_step st s))
+                (Ok state) steps
+            in
+            (match (Sc_tx.apply state tx, via_steps) with
+            | Ok a, Ok b -> Fp.equal (Sc_state.hash a) (Sc_state.hash b)
+            | Error _, Error _ -> true
+            | _ -> false)
+        in
+        let state = ref (Sc_state.create params) in
+        List.for_all
+          (fun action ->
+            match action with
+            | Do_ft (u, a) ->
+              let ft =
+                Forward_transfer.make ~ledger_id:Hash.zero
+                  ~receiver_metadata:
+                    (Sc_tx.ft_metadata ~receiver:addrs.(u) ~payback:addrs.(u))
+                  ~amount:(amount a)
+              in
+              let tx = Sc_tx.Forward_transfers_tx { mcid = Hash.zero; fts = [ ft ] } in
+              let okay = check_tx !state tx in
+              (match Sc_tx.apply !state tx with
+              | Ok st -> state := st
+              | Error _ -> ());
+              okay
+            | Do_pay (f, t, a) -> (
+              match
+                Sc_wallet.build_payment wallets.(f) !state ~to_:addrs.(t)
+                  ~amount:(amount a)
+              with
+              | Error _ -> true
+              | Ok tx ->
+                let okay = check_tx !state tx in
+                (match Sc_tx.apply !state tx with
+                | Ok st -> state := st
+                | Error _ -> ());
+                okay)
+            | Do_bt u -> (
+              match Sc_wallet.utxos wallets.(u) !state with
+              | [] -> true
+              | coin :: _ -> (
+                match
+                  Sc_wallet.build_backward_transfer wallets.(u) !state
+                    ~utxo:coin ~mc_receiver:addrs.(u)
+                with
+                | Error _ -> true
+                | Ok tx ->
+                  let okay = check_tx !state tx in
+                  (match Sc_tx.apply !state tx with
+                  | Ok st -> state := st
+                  | Error _ -> ());
+                  okay)))
+          actions);
+    prop "mst delta marks exactly the touched slots" gen_workload
+      (fun actions ->
+        incr seed_counter;
+        let wallets = fresh_wallets (Printf.sprintf "delta%d" !seed_counter) in
+        let r = interpret wallets actions in
+        let delta = Mst.delta_bits r.state.Sc_state.mst in
+        let touched = Mst.modified_since_snapshot r.state.Sc_state.mst in
+        List.for_all (Mst.delta_bit delta) touched
+        &&
+        (* and no other bit is set *)
+        let set_bits = ref 0 in
+        Bytes.iter
+          (fun c ->
+            let rec popcount n = if n = 0 then 0 else (n land 1) + popcount (n lsr 1) in
+            set_bits := !set_bits + popcount (Char.code c))
+          delta;
+        !set_bits = List.length touched);
+    prop "interpretation is deterministic" gen_workload (fun actions ->
+        incr seed_counter;
+        let seed = Printf.sprintf "det%d" !seed_counter in
+        let r1 = interpret (fresh_wallets seed) actions in
+        let r2 = interpret (fresh_wallets seed) actions in
+        Fp.equal (Sc_state.hash r1.state) (Sc_state.hash r2.state));
+  ]
+
+let suite = ("protocol-props", props)

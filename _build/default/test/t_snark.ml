@@ -1,0 +1,242 @@
+(* R1CS, gadgets, the simulated backend and recursive composition. *)
+
+open Zen_crypto
+open Zen_snark
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* A tiny multiplication circuit: public (x, y), witness z with x*z = y. *)
+let synth_divides x y =
+  let ctx = Gadget.create () in
+  let wx = Gadget.input ctx x in
+  let wy = Gadget.input ctx y in
+  let z_val = if Fp.is_zero x then Fp.zero else Fp.div y x in
+  let wz = Gadget.witness ctx z_val in
+  let prod = Gadget.mul ctx wx wz in
+  Gadget.assert_eq ~label:"xz=y" ctx prod wy;
+  Gadget.finalize ~name:"divides" ctx
+
+let test_r1cs_satisfied () =
+  let c, public, witness = synth_divides (Fp.of_int 6) (Fp.of_int 42) in
+  checkb "satisfied" true (Result.is_ok (R1cs.satisfied c ~public ~witness));
+  checki "public arity" 2 (R1cs.num_public c)
+
+let test_r1cs_unsatisfied () =
+  let c, public, _ = synth_divides (Fp.of_int 6) (Fp.of_int 42) in
+  let bad = [| Fp.of_int 5; Fp.of_int 30 |] in
+  (match R1cs.satisfied c ~public ~witness:bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad witness accepted");
+  (* wrong arity *)
+  match R1cs.satisfied c ~public ~witness:[||] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty witness accepted"
+
+let test_r1cs_digest_stability () =
+  let c1, _, _ = synth_divides (Fp.of_int 6) (Fp.of_int 42) in
+  let c2, _, _ = synth_divides (Fp.of_int 7) (Fp.of_int 7) in
+  checkb "value-independent digest" true
+    (Hash.equal (R1cs.digest c1) (R1cs.digest c2))
+
+let test_gadget_bits () =
+  let ctx = Gadget.create () in
+  let w = Gadget.input ctx (Fp.of_int 1234) in
+  let bits = Gadget.to_bits ctx w 11 in
+  checki "11 bits" 11 (List.length bits);
+  let c, public, witness = Gadget.finalize ~name:"bits" ctx in
+  checkb "satisfied" true (Result.is_ok (R1cs.satisfied c ~public ~witness));
+  (* value too large for the width *)
+  let ctx2 = Gadget.create () in
+  let w2 = Gadget.input ctx2 (Fp.of_int 5000) in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Gadget.to_bits: value does not fit") (fun () ->
+      ignore (Gadget.to_bits ctx2 w2 11))
+
+let test_gadget_is_zero_select () =
+  let run v sel_a =
+    let ctx = Gadget.create () in
+    let w = Gadget.input ctx (Fp.of_int v) in
+    let z = Gadget.is_zero ctx w in
+    let s =
+      Gadget.select ctx ~cond:z (Gadget.const_int 100) (Gadget.const_int 200)
+    in
+    let c, public, witness = Gadget.finalize ~name:"sel" ctx in
+    checkb "sat" true (Result.is_ok (R1cs.satisfied c ~public ~witness));
+    checki "select" sel_a (Fp.to_int (Gadget.value s))
+  in
+  run 0 100;
+  run 7 200
+
+let test_gadget_poseidon_matches_native () =
+  let a = Fp.of_int 111 and b = Fp.of_int 222 in
+  let ctx = Gadget.create () in
+  let wa = Gadget.input ctx a and wb = Gadget.input ctx b in
+  let h = Gadget.poseidon2 ctx wa wb in
+  checkb "in-circuit = native" true
+    (Fp.equal (Gadget.value h) (Poseidon.hash2 a b));
+  let hl = Gadget.poseidon_hash ctx [ wa; wb; h ] in
+  checkb "sponge matches" true
+    (Fp.equal (Gadget.value hl)
+       (Poseidon.hash_list [ a; b; Poseidon.hash2 a b ]));
+  let c, public, witness = Gadget.finalize ~name:"poseidon" ctx in
+  checkb "sat" true (Result.is_ok (R1cs.satisfied c ~public ~witness))
+
+let test_gadget_merkle_matches_smt () =
+  let t =
+    List.fold_left
+      (fun t (p, v) -> Smt.set t p (Fp.of_int v))
+      (Smt.create ~depth:6)
+      [ (0, 5); (9, 9); (33, 1); (63, 7) ]
+  in
+  let pos = 9 in
+  let proof = Smt.prove t pos in
+  let ctx = Gadget.create () in
+  let leaf = Gadget.const (Smt.leaf_hash (Some (Fp.of_int 9))) in
+  let path_bits =
+    List.init 6 (fun i -> Gadget.const_int ((pos lsr i) land 1))
+  in
+  let siblings = List.map Gadget.const (Smt.proof_siblings proof) in
+  let root = Gadget.merkle_root ctx ~leaf ~path_bits ~siblings in
+  checkb "in-circuit root = smt root" true
+    (Fp.equal (Gadget.value root) (Smt.root t))
+
+let test_backend_roundtrip () =
+  let c, public, witness = synth_divides (Fp.of_int 3) (Fp.of_int 21) in
+  let pk, vk = Backend.setup c in
+  let proof = ok (Backend.prove pk ~public ~witness) in
+  checkb "verifies" true (Backend.verify vk ~public proof);
+  checkb "wrong public" false
+    (Backend.verify vk ~public:[| Fp.of_int 3; Fp.of_int 22 |] proof);
+  checkb "dummy proof" false (Backend.verify vk ~public Backend.dummy_proof);
+  checki "proof size" Backend.proof_size_bytes
+    (String.length (Backend.proof_encode proof))
+
+let test_backend_refuses_bad_witness () =
+  let c, public, _ = synth_divides (Fp.of_int 3) (Fp.of_int 21) in
+  let pk, _ = Backend.setup c in
+  match Backend.prove pk ~public ~witness:[| Fp.of_int 9 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unsatisfying witness produced a proof"
+
+let test_backend_vk_encoding () =
+  let c, _, _ = synth_divides Fp.one Fp.one in
+  let _, vk = Backend.setup c in
+  match Backend.vk_decode (Backend.vk_encode vk) with
+  | None -> Alcotest.fail "vk decode"
+  | Some vk' ->
+    checkb "digest stable" true
+      (Hash.equal (Backend.vk_digest vk) (Backend.vk_digest vk'))
+
+let test_backend_deterministic_setup () =
+  let c1, _, _ = synth_divides Fp.one Fp.one in
+  let c2, _, _ = synth_divides (Fp.of_int 9) (Fp.of_int 9) in
+  let _, vk1 = Backend.setup c1 and _, vk2 = Backend.setup c2 in
+  checkb "same circuit, same vk" true
+    (Hash.equal (Backend.vk_digest vk1) (Backend.vk_digest vk2))
+
+(* ---- recursion ---- *)
+
+let synth_step s x =
+  let ctx = Gadget.create () in
+  let w_from = Gadget.input ctx s in
+  let s_to = Poseidon.hash2 s x in
+  let w_to = Gadget.input ctx s_to in
+  let wx = Gadget.witness ctx x in
+  Gadget.assert_eq ~label:"step" ctx (Gadget.poseidon2 ctx w_from wx) w_to;
+  (Gadget.finalize ~name:"rec.step" ctx, s_to)
+
+let make_chain sys pk vk s0 n =
+  let rec go s i acc =
+    if i = n then List.rev acc
+    else begin
+      let (c, public, witness), s_to = synth_step s (Fp.of_int (1000 + i)) in
+      ignore c;
+      let proof = ok (Backend.prove pk ~public ~witness) in
+      let tp =
+        ok (Recursive.of_base sys ~vk ~s_from:s ~s_to ~extra:[||] proof)
+      in
+      go s_to (i + 1) (tp :: acc)
+    end
+  in
+  go s0 0 []
+
+let setup_rec () =
+  let (c, _, _), _ = synth_step Fp.zero Fp.zero in
+  let pk, vk = Backend.setup c in
+  let sys = Recursive.create ~name:"t" ~base_vks:[ vk ] in
+  (sys, pk, vk)
+
+let test_recursion_balanced () =
+  let sys, pk, vk = setup_rec () in
+  let ts = make_chain sys pk vk (Fp.of_int 1) 9 in
+  let top = ok (Recursive.fold_balanced sys ts) in
+  checkb "verifies" true (Recursive.verify sys top);
+  checki "covers 9" 9 (Recursive.base_count top);
+  checki "depth ceil(log2 9)" 4 (Recursive.depth top);
+  checkb "endpoints" true
+    (Fp.equal (Recursive.s_from top) (Fp.of_int 1)
+    && Fp.equal (Recursive.s_to top) (Recursive.s_to (List.nth ts 8)))
+
+let test_recursion_sequential_shape () =
+  let sys, pk, vk = setup_rec () in
+  let ts = make_chain sys pk vk (Fp.of_int 1) 5 in
+  let top = ok (Recursive.fold_sequential sys ts) in
+  checki "degenerate depth" 4 (Recursive.depth top);
+  checkb "verifies" true (Recursive.verify sys top)
+
+let test_recursion_rejects_gap () =
+  let sys, pk, vk = setup_rec () in
+  let ts = make_chain sys pk vk (Fp.of_int 1) 3 in
+  match ts with
+  | [ t1; _; t3 ] -> (
+    match Recursive.merge sys t1 t3 with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "non-adjacent merge accepted")
+  | _ -> Alcotest.fail "expected 3"
+
+let test_recursion_rejects_unregistered_vk () =
+  let sys, pk, vk = setup_rec () in
+  ignore vk;
+  (* Another circuit not registered in sys. *)
+  let c2, public, witness = synth_divides (Fp.of_int 2) (Fp.of_int 4) in
+  ignore c2;
+  let pk2, vk2 = Backend.setup c2 in
+  ignore pk;
+  let proof = ok (Backend.prove pk2 ~public ~witness) in
+  match
+    Recursive.of_base sys ~vk:vk2 ~s_from:(Fp.of_int 2) ~s_to:(Fp.of_int 4)
+      ~extra:[||] proof
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unregistered base vk accepted"
+
+let test_recursion_empty_fold () =
+  let sys, _, _ = setup_rec () in
+  match Recursive.fold_balanced sys [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty fold accepted"
+
+let suite =
+  ( "snark",
+    [
+      Alcotest.test_case "r1cs satisfied" `Quick test_r1cs_satisfied;
+      Alcotest.test_case "r1cs unsatisfied" `Quick test_r1cs_unsatisfied;
+      Alcotest.test_case "r1cs digest stable" `Quick test_r1cs_digest_stability;
+      Alcotest.test_case "gadget bits" `Quick test_gadget_bits;
+      Alcotest.test_case "gadget is_zero/select" `Quick test_gadget_is_zero_select;
+      Alcotest.test_case "gadget poseidon" `Quick test_gadget_poseidon_matches_native;
+      Alcotest.test_case "gadget merkle" `Quick test_gadget_merkle_matches_smt;
+      Alcotest.test_case "backend roundtrip" `Quick test_backend_roundtrip;
+      Alcotest.test_case "backend soundness" `Quick test_backend_refuses_bad_witness;
+      Alcotest.test_case "backend vk encoding" `Quick test_backend_vk_encoding;
+      Alcotest.test_case "backend deterministic" `Quick test_backend_deterministic_setup;
+      Alcotest.test_case "recursion balanced" `Quick test_recursion_balanced;
+      Alcotest.test_case "recursion sequential" `Quick test_recursion_sequential_shape;
+      Alcotest.test_case "recursion gap" `Quick test_recursion_rejects_gap;
+      Alcotest.test_case "recursion vk registry" `Quick
+        test_recursion_rejects_unregistered_vk;
+      Alcotest.test_case "recursion empty" `Quick test_recursion_empty_fold;
+    ] )

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "zendoo"
+    [
+      T_bignum.suite;
+      T_crypto.suite;
+      T_merkle.suite;
+      T_ec_schnorr.suite;
+      T_snark.suite;
+      T_cctp.suite;
+      T_mainchain.suite;
+      T_latus.suite;
+      T_node.suite;
+      T_baselines.suite;
+      T_sim.suite;
+      T_adversarial.suite;
+      T_props.suite;
+      T_verifier_extra.suite;
+      T_wire.suite;
+    ]
