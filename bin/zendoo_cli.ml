@@ -4,20 +4,27 @@
      simulate        run a mainchain+sidechain world and print the event log
      schedule        print a withdrawal-epoch schedule (Fig. 3)
      keys            compile the Latus circuit family and show what a
-                     sidechain registers with the mainchain *)
+                     sidechain registers with the mainchain
+     prove           prove one epoch's steps on a multicore Domain pool
+                     (§5.4.1) and print the measured stats *)
 
 open Cmdliner
 open Zen_crypto
 open Zen_latus
 open Zendoo
 
+(* --domains: 0 means "ask the hardware". *)
+let resolve_domains d = if d <= 0 then Pool.recommended_domains () else d
+
 (* ---- simulate ---- *)
 
-let simulate seed ticks epoch_len submit_len fts withhold =
+let simulate seed ticks epoch_len submit_len fts withhold domains =
+  let pool = Pool.create ~domains:(resolve_domains domains) in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   let h = Zen_sim.Harness.create ~seed () in
   Zen_sim.Harness.fund h ~blocks:5;
   match
-    Zen_sim.Harness.add_latus h ~name:"sc" ~epoch_len ~submit_len
+    Zen_sim.Harness.add_latus h ~name:"sc" ~pool ~epoch_len ~submit_len
       ~activation_delay:1 ()
   with
   | Error e ->
@@ -93,10 +100,95 @@ let keys mst_depth =
       (Circuits.base_vks family);
     0
 
+(* ---- prove ---- *)
+
+let prove steps domains workers mst_depth seed =
+  let params = { Params.default with mst_depth } in
+  if steps < 1 then begin
+    Printf.eprintf "error: --steps must be at least 1\n";
+    1
+  end
+  else if workers < 1 then begin
+    Printf.eprintf "error: --workers must be at least 1\n";
+    1
+  end
+  else
+  match Params.validate params with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok () ->
+    let domains = resolve_domains domains in
+    let family = Circuits.make params in
+    let rsys =
+      Zen_snark.Recursive.create ~name:"cli"
+        ~base_vks:(Circuits.base_vks family)
+    in
+    let st = Sc_state.create params in
+    let workload =
+      List.init steps (fun i ->
+          Sc_tx.Insert
+            (Utxo.make
+               ~addr:(Hash.of_string "cli-prove")
+               ~amount:(Amount.of_int_exn (i + 1))
+               ~nonce:(Hash.of_string (Printf.sprintf "cli-%d-%d" seed i))))
+    in
+    Pool.with_pool ~domains @@ fun pool ->
+    let t0 = Unix.gettimeofday () in
+    (match
+       Prover_pool.prove_epoch ~pool family ~initial:st ~steps:workload
+         ~workers ~seed
+     with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok (proofs, stats) -> (
+      match Prover_pool.merge_all ~pool family rsys proofs with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok top ->
+        let total = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "epoch of %d steps proven on %d domain(s) \
+           (recommended on this machine: %d)\n"
+          stats.Prover_pool.tasks stats.Prover_pool.domains
+          (Pool.recommended_domains ());
+        Printf.printf "  task work        %.3f s (sum of per-task wall)\n"
+          stats.Prover_pool.total_work;
+        Printf.printf "  prove wall       %.3f s (avg concurrency %.2f)\n"
+          stats.Prover_pool.wall stats.Prover_pool.concurrency;
+        Printf.printf "  prove+merge wall %.3f s\n" total;
+        Printf.printf "  epoch proof      depth %d, %d base proofs, %d B, verifies %b\n"
+          (Zen_snark.Recursive.depth top)
+          (Zen_snark.Recursive.base_count top)
+          (Zen_snark.Recursive.proof_size_bytes top)
+          (Zen_snark.Recursive.verify rsys top);
+        Printf.printf "  proof digest     %s\n"
+          (Hash.to_hex
+             (Hash.of_string
+                (Zen_snark.Backend.proof_encode
+                   (Zen_snark.Recursive.final_proof top))));
+        Printf.printf "  rewards          %s\n"
+          (String.concat " "
+             (List.map
+                (fun (w, r) -> Printf.sprintf "w%d:%d" w r)
+                stats.Prover_pool.rewards));
+        0))
+
 (* ---- cmdliner wiring ---- *)
 
 let seed_t =
   Arg.(value & opt string "cli" & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains for proving (1 = sequential, 0 = use \
+           Domain.recommended_domain_count). Results are bit-identical \
+           for every value.")
 
 let simulate_cmd =
   let ticks =
@@ -116,7 +208,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
-    Term.(const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold)
+    Term.(
+      const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
+      $ domains_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -133,9 +227,32 @@ let keys_cmd =
     (Cmd.info "keys" ~doc:"Compile the Latus circuits and print registration keys")
     Term.(const keys $ depth)
 
+let prove_cmd =
+  let steps =
+    Arg.(value & opt int 32 & info [ "steps" ] ~doc:"Transitions in the epoch.")
+  in
+  let depth = Arg.(value & opt int 12 & info [ "mst-depth" ] ~doc:"MST depth.") in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ]
+          ~doc:
+            "Incentive-layer parties tasks are dispatched to (§5.4.1) — \
+             independent of $(b,--domains), which is hardware parallelism.")
+  in
+  let seed =
+    Arg.(value & opt int 77 & info [ "seed" ] ~doc:"Dispatch seed (§5.4.1).")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Prove one epoch on a multicore Domain pool and print measured \
+          wall-clock stats")
+    Term.(const prove $ steps $ domains_t $ workers $ depth $ seed)
+
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "zendoo-cli" ~doc)
-          [ simulate_cmd; schedule_cmd; keys_cmd ]))
+          [ simulate_cmd; schedule_cmd; keys_cmd; prove_cmd ]))

@@ -51,7 +51,7 @@ let entry_hash e =
 let leaf_hash leaf =
   Hash.tagged "scc.leaf" [ Hash.to_raw leaf.id; Hash.to_raw leaf.data ]
 
-let build entries =
+let build ?(pool = Pool.sequential) entries =
   let ids = List.map (fun e -> e.ledger_id) entries in
   let distinct = Hash.Set.of_list ids in
   if Hash.Set.cardinal distinct <> List.length ids then
@@ -64,8 +64,12 @@ let build entries =
       entries
   then Error "sc commitment: reserved ledger id"
   else begin
+    (* Each entry hash rebuilds that sidechain's FT/BTR subtrees —
+       independent work, mapped across the pool's domains. *)
     let real =
-      List.map (fun e -> { id = e.ledger_id; data = entry_hash e }) entries
+      Pool.map_list pool ~chunk:1
+        (fun e -> { id = e.ledger_id; data = entry_hash e })
+        entries
     in
     let all =
       { id = min_sentinel; data = Hash.zero }
@@ -86,7 +90,7 @@ let build entries =
            Hash.Map.empty
     in
     let tree =
-      Merkle.of_leaves (Array.to_list (Array.map leaf_hash leaves))
+      Merkle.of_leaves ~pool (Array.to_list (Array.map leaf_hash leaves))
     in
     Ok { leaves; tree; by_id }
   end

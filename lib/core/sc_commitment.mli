@@ -22,9 +22,12 @@ type entry = {
 
 type t
 
-val build : entry list -> (t, string) result
+val build : ?pool:Pool.t -> entry list -> (t, string) result
 (** Fails on duplicate ledger ids or entries recorded under the wrong
-    id. The empty list is valid (blocks with no sidechain traffic). *)
+    id. The empty list is valid (blocks with no sidechain traffic).
+    [pool] parallelizes the per-sidechain entry hashes and the top-level
+    tree build across domains (default {!Pool.sequential}); the root is
+    bit-identical for every domain count. *)
 
 val root : t -> Hash.t
 

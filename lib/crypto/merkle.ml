@@ -14,18 +14,24 @@ let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 1
 
-let of_leaves leaves =
+let of_leaves ?(pool = Pool.sequential) leaves =
   let leaf_count = List.length leaves in
   if leaf_count = 0 then { levels = [| [| empty_root |] |]; leaf_count = 0 }
   else begin
     let width = next_pow2 leaf_count in
-    let level0 = Array.make width (leaf_hash Hash.zero) in
-    List.iteri (fun i l -> level0.(i) <- leaf_hash l) leaves;
+    let padding = leaf_hash Hash.zero in
+    let raw = Array.of_list leaves in
+    (* Every level is a parallel map over independent slots: hashing is
+       pure, so the tree is bit-identical for any domain count. *)
+    let level0 =
+      Pool.init_array pool width (fun i ->
+          if i < leaf_count then leaf_hash raw.(i) else padding)
+    in
     let rec build acc level =
       if Array.length level = 1 then List.rev (level :: acc)
       else begin
         let parent =
-          Array.init
+          Pool.init_array pool
             (Array.length level / 2)
             (fun i -> node_hash level.(2 * i) level.((2 * i) + 1))
         in
@@ -35,7 +41,7 @@ let of_leaves leaves =
     { levels = Array.of_list (build [] level0); leaf_count }
   end
 
-let of_data blocks = of_leaves (List.map Hash.of_string blocks)
+let of_data ?pool blocks = of_leaves ?pool (List.map Hash.of_string blocks)
 
 let root t =
   let top = t.levels.(Array.length t.levels - 1) in

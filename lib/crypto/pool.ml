@@ -1,0 +1,163 @@
+(* A bounded Domain-based worker pool with a chunked, work-stealing
+   task queue. Plain stdlib only: Domain + Mutex + Condition + Atomic.
+
+   Shape: [create ~domains:d] spawns [d - 1] persistent worker domains
+   that block on a condition variable; the caller of a parallel
+   operation is always the d-th worker, so a pool with [domains = 1]
+   spawns nothing and runs everything in the caller — the sequential
+   fallback path, bit-identical by construction.
+
+   A parallel operation turns its index space [0, n) into fixed-size
+   chunks and publishes one "help" closure per spare domain; every
+   participant (helpers and caller alike) then races on a shared atomic
+   chunk counter — dynamic load balancing without per-task locking.
+   Because a participant that finds the counter exhausted simply leaves,
+   the caller alone can finish the whole operation; helpers that never
+   get scheduled (a busy or already shut-down pool) cost nothing and
+   cannot deadlock, including when operations nest. *)
+
+type task = unit -> unit
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when the queue grows or the pool closes *)
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let make_handle domains =
+  {
+    domains;
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+    workers = [];
+  }
+
+let sequential = make_handle 1
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let domains t = t.domains
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed and drained *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    (* Tasks are wrappers built below and never raise; be defensive
+       anyway so a worker domain cannot die silently. *)
+    (try task () with _ -> ());
+    worker_loop t
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let t = make_handle domains in
+  if domains > 1 then
+    t.workers <-
+      List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let domains =
+    match domains with Some d -> d | None -> recommended_domains ()
+  in
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let parallel_for t ?chunk ~n body =
+  if n > 0 then begin
+    if t.domains = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (n / (t.domains * 8))
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      let next = Atomic.make 0 in
+      let remaining = Atomic.make nchunks in
+      let failed : exn option Atomic.t = Atomic.make None in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let work () =
+        let rec grab () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < nchunks then begin
+            (* After a failure the rest of the index space is skipped
+               (but still accounted) so the caller can re-raise fast. *)
+            (if Atomic.get failed = None then
+               try
+                 let lo = c * chunk in
+                 let hi = min n (lo + chunk) - 1 in
+                 for i = lo to hi do
+                   body i
+                 done
+               with e -> ignore (Atomic.compare_and_set failed None (Some e)));
+            if Atomic.fetch_and_add remaining (-1) = 1 then begin
+              Mutex.lock done_mutex;
+              Condition.broadcast done_cond;
+              Mutex.unlock done_mutex
+            end;
+            grab ()
+          end
+        in
+        grab ()
+      in
+      Mutex.lock t.mutex;
+      for _ = 2 to t.domains do
+        Queue.push work t.queue
+      done;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      work ();
+      (* The caller ran out of chunks; helpers may still be inside the
+         last ones. The completion broadcast is taken under done_mutex,
+         so the check-then-wait below cannot miss it. *)
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      match Atomic.get failed with Some e -> raise e | None -> ()
+    end
+  end
+
+let init_array t ?chunk n f =
+  if n < 0 then invalid_arg "Pool.init_array: negative length";
+  if n = 0 then [||]
+  else if t.domains = 1 || n = 1 then Array.init n f
+  else begin
+    let out = Array.make n None in
+    parallel_for t ?chunk ~n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_array t ?chunk f arr =
+  if t.domains = 1 then Array.map f arr
+  else init_array t ?chunk (Array.length arr) (fun i -> f arr.(i))
+
+let map_list t ?chunk f l =
+  if t.domains = 1 then List.map f l
+  else Array.to_list (map_array t ?chunk f (Array.of_list l))

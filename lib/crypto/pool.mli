@@ -1,0 +1,85 @@
+(** Bounded multicore worker pool (OCaml 5 [Domain]s, stdlib only).
+
+    This is the hardware layer of the paper's §5.4.1 distributed-proving
+    story: proving tasks whose inputs were snapshotted up front are
+    independent, so they can be executed by real domains instead of the
+    accounted simulation the repository used to ship. The same pool
+    drives batch Merkle/SMT tree builds ({!Merkle.of_leaves},
+    {!Smt.of_bindings}) and the per-level merges of the recursive proof
+    tree ([Zen_snark.Recursive.fold_balanced]).
+
+    {2 Execution model}
+
+    [create ~domains:d] spawns [d - 1] persistent worker domains that
+    sleep on a [Mutex]/[Condition]-protected task queue. Each parallel
+    operation splits its index space into chunks and lets every
+    participant — the spawned helpers {e and the calling domain} — claim
+    chunks from a shared atomic counter (dynamic work stealing). The
+    caller always participates, so:
+
+    - [domains = 1] spawns no domains and runs the exact sequential
+      code path;
+    - a busy or already {!shutdown} pool degrades to sequential
+      execution instead of deadlocking, and nested parallel operations
+      are safe for the same reason.
+
+    {2 Determinism discipline}
+
+    A parallel operation computes the same function at the same indices
+    as its sequential counterpart and writes each result to a fixed
+    slot, so for {b pure} per-index functions the output is bit-identical
+    for every domain count. Callers must not close over shared mutable
+    state; in particular each task must draw randomness from its own
+    pre-seeded generator (see {!Rng.derive} for the discipline). *)
+
+type t
+(** A pool handle. Values of type [t] are safe to share across domains;
+    parallel operations may themselves be issued from different domains
+    (each operation tracks its own completion). *)
+
+val sequential : t
+(** A pool with [domains = 1] and no spawned workers: every operation
+    runs in the caller, on the plain sequential code path. This is the
+    default everywhere a [?pool] argument is offered. *)
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains (so [domains]
+    is the total parallelism including the caller). Raises
+    [Invalid_argument] if [domains < 1]. Pools are cheap but not free
+    (~a domain spawn each): create one per workload, not per call, and
+    release it with {!shutdown}. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down.
+    [domains] defaults to {!recommended_domains}[ ()]. *)
+
+val shutdown : t -> unit
+(** Signals the workers to exit once the queue drains and joins them.
+    Idempotent. Operations issued after shutdown still complete,
+    executed entirely by the caller. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism
+    budget the benchmarks report against. *)
+
+val domains : t -> int
+(** Total parallelism of the pool, including the calling domain. *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n body] runs [body i] for every [i] in [[0, n)],
+    partitioned into chunks of [chunk] indices (default
+    [max 1 (n / (domains * 8))]) claimed dynamically by the
+    participants. [body] must be safe to run concurrently at distinct
+    indices. If any [body i] raises, one such exception is re-raised in
+    the caller after the index space is drained; with [domains = 1] the
+    exception propagates directly from the failing index. *)
+
+val init_array : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. For pure [f] the result is bit-identical to
+    [Array.init] for every domain count. *)
+
+val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] (same contract as {!init_array}). *)
+
+val map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] (same contract as {!init_array}). *)

@@ -25,6 +25,23 @@ let split t =
   let s = next64 t in
   { state = Int64.logxor s 0x5851f42d4c957f2dL }
 
+(* Pure per-task derivation: the parent is NOT advanced, so any number
+   of domains can derive their streams from a shared parent value
+   without synchronization. Mixing (state + (i+1)·golden) through the
+   splitmix64 finalizer decorrelates sibling streams. *)
+let derive t i =
+  let finalize z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  {
+    state =
+      finalize
+        (Int64.add t.state
+           (Int64.mul (Int64.of_int (i + 1)) 0x9e3779b97f4a7c15L));
+  }
+
 let int64_nonneg t = Int64.logand (next64 t) Int64.max_int
 
 let int t bound =

@@ -30,6 +30,17 @@ val get : t -> int -> Fp.t option
 val set : t -> int -> Fp.t -> t
 (** Occupies a slot (replacing any previous value). *)
 
+val of_bindings :
+  ?pool:Pool.t -> depth:int -> (int * Fp.t) list -> (t, string) result
+(** [of_bindings ~depth [(pos, v); …]] is the batch constructor:
+    equivalent to folding {!set} over the bindings from {!create}, but
+    built bottom-up in one pass, with the top levels split into
+    independent subtrees hashed in parallel when [pool] has more than
+    one domain. The result is bit-identical for every domain count
+    (tree structure is a function of the occupied-position set alone).
+    Errors on an out-of-range [depth] or position, or on duplicate
+    positions. *)
+
 val remove : t -> int -> t
 (** Empties a slot (no-op if already empty). *)
 

@@ -19,6 +19,35 @@ let create params =
     modified = Int_set.empty;
   }
 
+let of_utxos ?pool params utxos =
+  let bindings =
+    List.map
+      (fun u -> (Utxo.position ~mst_depth:params.Params.mst_depth u, u))
+      utxos
+  in
+  let positions = List.map fst bindings in
+  if
+    Int_set.cardinal (Int_set.of_list positions) <> List.length positions
+  then Error "mst: slot collision"
+  else begin
+    match
+      Smt.of_bindings ?pool ~depth:params.Params.mst_depth
+        (List.map (fun (p, u) -> (p, Utxo.commitment u)) bindings)
+    with
+    | Error e -> Error ("mst: " ^ e)
+    | Ok tree ->
+      Ok
+        {
+          params;
+          tree;
+          utxos =
+            List.fold_left
+              (fun m (p, u) -> Int_map.add p u m)
+              Int_map.empty bindings;
+          modified = Int_set.of_list positions;
+        }
+  end
+
 let depth t = t.params.mst_depth
 let root t = Smt.root t.tree
 let occupied t = Smt.occupied t.tree

@@ -14,6 +14,14 @@ open Zendoo
 type t
 
 val create : Params.t -> t
+
+val of_utxos : ?pool:Pool.t -> Params.t -> Utxo.t list -> (t, string) result
+(** Batch constructor: equivalent to folding {!insert} over the list
+    into {!create}, but built bottom-up via {!Smt.of_bindings} — with a
+    [pool], the tree is hashed across domains (bit-identical result for
+    every domain count). All positions count as modified, exactly as
+    after individual inserts. Fails on an [MST_Position] collision. *)
+
 val depth : t -> int
 val root : t -> Fp.t
 val occupied : t -> int

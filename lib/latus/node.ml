@@ -35,6 +35,7 @@ type t = {
   rsys : Recursive.system;
   forger : Sc_wallet.t;
   prove : bool;
+  pool : Pool.t; (* domains for epoch-proof folding (certificates) *)
   genesis_state : Sc_state.t;
   schedule : Epoch.schedule;
   mutable records : record list; (* newest first *)
@@ -42,7 +43,8 @@ type t = {
   mutable archives : (int * epoch_archive) list; (* certified epochs *)
 }
 
-let create ~config ~params ~family ~forger ?(prove = true) () =
+let create ~config ~params ~family ~forger ?(prove = true)
+    ?(pool = Pool.sequential) () =
   match Params.validate params with
   | Error e -> Error e
   | Ok () ->
@@ -58,6 +60,7 @@ let create ~config ~params ~family ~forger ?(prove = true) () =
             Recursive.create ~name:"latus" ~base_vks:(Circuits.base_vks family);
           forger;
           prove;
+          pool;
           genesis_state = Sc_state.create params;
           schedule = Epoch.of_config config;
           records = [];
@@ -338,7 +341,7 @@ let build_certificate t ~mc =
           if Fp.equal s_prev s_last then Ok ()
           else Error "certificate: state moved without transition proofs"
         | _ -> (
-          let* top = Recursive.fold_balanced t.rsys proofs in
+          let* top = Recursive.fold_balanced ~pool:t.pool t.rsys proofs in
           if not (Recursive.verify t.rsys top) then
             Error "certificate: epoch transition proof rejected"
           else if

@@ -37,11 +37,16 @@ val create :
   family:Circuits.family ->
   forger:Sc_wallet.t ->
   ?prove:bool ->
+  ?pool:Pool.t ->
   unit ->
   (t, string) result
 (** [prove:false] skips SNARK generation (consensus-only experiments);
     such a node cannot emit certificates. The forger wallet must hold
-    at least one key. *)
+    at least one key. [pool] (default {!Pool.sequential}) supplies the
+    domains used to fold the epoch's transition proofs when building a
+    certificate; proofs and certificates are bit-identical for every
+    domain count. The node does not own the pool — the caller shuts it
+    down. *)
 
 val params : t -> Params.t
 val family : t -> Circuits.family

@@ -8,17 +8,20 @@ type task_proof = {
   vk : Backend.verification_key;
   s_from : Fp.t;
   s_to : Fp.t;
-  cpu_seconds : float;
+  seconds : float;
 }
 
 type stats = {
   tasks : int;
   workers : int;
-  total_cpu : float;
-  makespan : float;
-  speedup : float;
+  domains : int;
+  total_work : float;
+  wall : float;
+  concurrency : float;
   rewards : (int * int) list;
 }
+
+let now = Unix.gettimeofday
 
 let dispatch ~rng ~workers ~tasks =
   if workers <= 0 then invalid_arg "Prover_pool.dispatch: no workers";
@@ -38,60 +41,87 @@ let snapshots initial steps =
     steps
   |> Result.map (fun (_, out) -> List.rev out)
 
-let prove_epoch family ~initial ~steps ~workers ~seed =
+let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed =
   let rng = Rng.create seed in
   let assignment = dispatch ~rng ~workers ~tasks:(List.length steps) in
   let* snaps = snapshots initial steps in
-  let* proofs_rev =
-    List.fold_left
-      (fun acc (index, (state, step)) ->
-        let* out = acc in
-        let t0 = Sys.time () in
-        let* proof, vk, s_from, s_to = Circuits.prove_step family state step in
-        let cpu_seconds = Sys.time () -. t0 in
-        (* A dishonest worker's submission would fail here and earn
-           nothing; in this in-process pool all workers are honest. *)
-        let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
-        if not (Backend.verify vk ~public proof) then
-          Error "prover pool: worker submitted an invalid proof"
-        else
-          Ok
-            ({ index; worker = assignment.(index); proof; vk; s_from; s_to; cpu_seconds }
-            :: out))
-      (Ok [])
-      (List.mapi (fun i snap -> (i, snap)) snaps)
+  let snaps = Array.of_list snaps in
+  let t0 = now () in
+  (* The parallel section: one heavyweight proving task per step, all
+     inputs captured above, nothing shared but immutable keys. Each
+     task draws no randomness (Backend.prove is deterministic); a task
+     needing randomness would use [Rng.derive] per its index. *)
+  let results =
+    Pool.init_array pool ~chunk:1 (Array.length snaps) (fun index ->
+        let state, step = snaps.(index) in
+        let t = now () in
+        match Circuits.prove_step family state step with
+        | Error e -> Error e
+        | Ok (proof, vk, s_from, s_to) ->
+          (* A dishonest worker's submission would fail here and earn
+             nothing; in this in-process pool all workers are honest. *)
+          let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
+          if not (Backend.verify vk ~public proof) then
+            Error "prover pool: worker submitted an invalid proof"
+          else
+            Ok
+              {
+                index;
+                worker = assignment.(index);
+                proof;
+                vk;
+                s_from;
+                s_to;
+                seconds = now () -. t;
+              })
   in
-  let proofs = List.rev proofs_rev in
-  let per_worker = Array.make workers 0.0 in
+  let wall = now () -. t0 in
+  (* Deterministic error selection: first failing step in epoch order. *)
+  let* proofs =
+    Array.fold_right
+      (fun r acc ->
+        let* out = acc in
+        let* tp = r in
+        Ok (tp :: out))
+      results (Ok [])
+  in
   let rewards = Array.make workers 0 in
-  List.iter
-    (fun tp ->
-      per_worker.(tp.worker) <- per_worker.(tp.worker) +. tp.cpu_seconds;
-      rewards.(tp.worker) <- rewards.(tp.worker) + 1)
-    proofs;
-  let total_cpu = Array.fold_left ( +. ) 0.0 per_worker in
-  let makespan = Array.fold_left max 0.0 per_worker in
+  let total_work =
+    List.fold_left
+      (fun acc tp ->
+        rewards.(tp.worker) <- rewards.(tp.worker) + 1;
+        acc +. tp.seconds)
+      0.0 proofs
+  in
   Ok
     ( proofs,
       {
         tasks = List.length proofs;
         workers;
-        total_cpu;
-        makespan;
-        speedup = (if makespan > 0.0 then total_cpu /. makespan else 1.0);
+        domains = Pool.domains pool;
+        total_work;
+        wall;
+        concurrency = (if wall > 0.0 then total_work /. wall else 1.0);
         rewards = Array.to_list rewards |> List.mapi (fun i r -> (i, r));
       } )
 
-let merge_all _family rsys proofs =
-  let* transitions =
-    List.fold_left
-      (fun acc tp ->
-        let* out = acc in
-        let* t =
-          Recursive.of_base rsys ~vk:tp.vk ~s_from:tp.s_from ~s_to:tp.s_to
-            ~extra:[||] tp.proof
-        in
-        Ok (t :: out))
-      (Ok []) proofs
+let merge_all ?(pool = Pool.sequential) _family rsys proofs =
+  (* Wrapping each base proof re-verifies it — constant-cost tasks,
+     mapped in parallel — then the log-depth merge tree parallelizes
+     per level inside [fold_balanced]. *)
+  let wrapped =
+    Pool.map_array pool ~chunk:1
+      (fun tp ->
+        Recursive.of_base rsys ~vk:tp.vk ~s_from:tp.s_from ~s_to:tp.s_to
+          ~extra:[||] tp.proof)
+      (Array.of_list proofs)
   in
-  Recursive.fold_balanced rsys (List.rev transitions)
+  let* transitions =
+    Array.fold_right
+      (fun r acc ->
+        let* out = acc in
+        let* t = r in
+        Ok (t :: out))
+      wrapped (Ok [])
+  in
+  Recursive.fold_balanced ~pool rsys transitions

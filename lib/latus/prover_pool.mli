@@ -6,56 +6,79 @@
     scheme: proving tasks are assigned randomly to interested parties
     who work in parallel and are rewarded per valid submission.
 
-    This module realizes that scheme in-process: the epoch's steps are
-    first applied natively to capture each task's state snapshot —
-    which is what makes the tasks independent — then dispatched
-    uniformly at random across simulated workers. Every proof is
-    actually generated (and spot-verified), per-worker CPU time is
-    accounted, and the makespan of the slowest worker gives the
-    parallel-speedup figures of experiment E13. *)
+    This module realizes the scheme on real hardware. It has two
+    layers, deliberately kept separate:
+
+    - the {e incentive} layer — {!dispatch} assigns every task to one
+      of [workers] parties uniformly at random from a seeded generator,
+      and each valid submission earns that party a reward. This
+      assignment is deterministic in the seed and independent of how
+      the work is actually scheduled;
+    - the {e hardware} layer — a {!Pool.t} of OCaml domains executes
+      the tasks concurrently. The epoch's steps are first applied
+      natively to capture each task's state snapshot — which is what
+      makes the tasks independent — then proven in parallel, each proof
+      spot-verified as it would be on submission.
+
+    Every output (proof bytes, task order, rewards, error selection) is
+    bit-identical for every domain count; only the wall-clock numbers in
+    {!stats} change. Experiment E13 measures exactly that. *)
 
 open Zen_crypto
 open Zen_snark
 
 type task_proof = {
   index : int;  (** position of the step within the epoch *)
-  worker : int;
+  worker : int;  (** the §5.4.1 party this task was dispatched to *)
   proof : Backend.proof;
   vk : Backend.verification_key;
   s_from : Fp.t;
   s_to : Fp.t;
-  cpu_seconds : float;
+  seconds : float;  (** wall-clock spent proving this task *)
 }
 
 type stats = {
   tasks : int;
-  workers : int;
-  total_cpu : float;  (** sum of all proving work *)
-  makespan : float;  (** slowest worker's serial time *)
-  speedup : float;  (** total_cpu / makespan *)
+  workers : int;  (** incentive-layer parties tasks were dispatched to *)
+  domains : int;  (** hardware parallelism actually used *)
+  total_work : float;  (** sum of per-task proving wall-clock *)
+  wall : float;  (** elapsed wall-clock of the parallel proving phase *)
+  concurrency : float;
+      (** [total_work /. wall] — average number of tasks in flight.
+          Not a speedup: on an oversubscribed machine per-task times
+          inflate with contention, so compare [wall] against a
+          1-domain run to measure real gain (experiment E13 does). *)
   rewards : (int * int) list;  (** worker id → valid submissions *)
 }
 
 val dispatch : rng:Rng.t -> workers:int -> tasks:int -> int array
 (** [dispatch.(i)] is the worker assigned to task [i]; uniform random
-    assignment as §5.4.1 suggests. *)
+    assignment as §5.4.1 suggests. Drawn sequentially from [rng]
+    {e before} any parallel execution (see the {!Rng} seeding
+    discipline). *)
 
 val prove_epoch :
+  ?pool:Pool.t ->
   Circuits.family ->
   initial:Sc_state.t ->
   steps:Sc_tx.step list ->
   workers:int ->
   seed:int ->
   (task_proof list * stats, string) result
-(** Proves every step of the epoch under a random dispatch. The
-    returned proofs are in step order and each has been verified; a
-    worker submitting an invalid proof would simply earn no reward
-    (and the task would be re-dispatched in a full implementation). *)
+(** Proves every step of the epoch under a random dispatch, running the
+    proving tasks on [pool] (default {!Pool.sequential}, i.e. the plain
+    sequential path). The returned proofs are in step order and each
+    has been verified; a worker submitting an invalid proof would
+    simply earn no reward (and the task would be re-dispatched in a
+    full implementation). On failure the reported error is the first
+    failing step in epoch order, independent of scheduling. *)
 
 val merge_all :
+  ?pool:Pool.t ->
   Circuits.family ->
   Recursive.system ->
   task_proof list ->
   (Recursive.transition_proof, string) result
-(** Folds the dispatched proofs into the single epoch proof
-    (Fig. 11). *)
+(** Folds the dispatched proofs into the single epoch proof (Fig. 11):
+    base-proof wrapping is a parallel map, and each level of the merge
+    tree parallelizes via {!Recursive.fold_balanced}. *)

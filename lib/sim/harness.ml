@@ -62,7 +62,7 @@ let mine_n t n =
 let submit t tx = t.mempool <- Mempool.add t.mempool tx
 let fund t ~blocks = mine_n t blocks
 
-let add_latus t ~name ?(params = Params.default) ?family ~epoch_len
+let add_latus t ~name ?(params = Params.default) ?family ?pool ~epoch_len
     ~submit_len ~activation_delay () =
   let family = match family with Some f -> f | None -> Circuits.make params in
   let ledger_id =
@@ -79,7 +79,7 @@ let add_latus t ~name ?(params = Params.default) ?family ~epoch_len
   | Ok config -> (
     let forger = Sc_wallet.create ~seed:("forger." ^ name) in
     let (_ : Hash.t) = Sc_wallet.fresh_address forger in
-    match Node.create ~config ~params ~family ~forger () with
+    match Node.create ~config ~params ~family ~forger ?pool () with
     | Error e -> Error e
     | Ok node ->
       submit t (Tx.Sc_create config);

@@ -32,13 +32,18 @@ type t = {
 }
 
 val create : ?pow:Pow.params -> seed:string -> unit -> t
+(** A fresh world at height 0 with an empty mempool; [pow] defaults to
+    {!Pow.trivial} so tests spend no time mining. Everything downstream
+    is deterministic in [seed]. *)
 
 val mine : t -> unit
 (** One MC block from the current mempool. *)
 
 val mine_n : t -> int -> unit
+(** [mine] [n] times. *)
 
 val submit : t -> Tx.t -> unit
+(** Adds a transaction to the mempool (included by the next {!mine}). *)
 
 val fund : t -> blocks:int -> unit
 (** Mines empty blocks so the harness wallet has mature coins. *)
@@ -48,13 +53,17 @@ val add_latus :
   name:string ->
   ?params:Params.t ->
   ?family:Circuits.family ->
+  ?pool:Pool.t ->
   epoch_len:int ->
   submit_len:int ->
   activation_delay:int ->
   unit ->
   (sidechain, string) result
 (** Registers a new Latus sidechain (creation tx mined immediately);
-    activation at [tip + activation_delay]. *)
+    activation at [tip + activation_delay]. [family] lets several
+    sidechains share one compiled circuit family (compilation is the
+    expensive part); [pool] hands the node a multicore worker pool for
+    epoch-proof folding (default {!Pool.sequential}). *)
 
 val forward_transfer :
   t -> sidechain -> receiver:Hash.t -> payback:Hash.t -> amount:Amount.t ->
@@ -66,11 +75,21 @@ val tick : t -> unit
     submit any certificate that is ready (unless withheld). *)
 
 val tick_n : t -> int -> unit
+(** [tick] [n] times. *)
 
 val sc_balance_on_mc : t -> sidechain -> Amount.t
+(** The sidechain's balance as the mainchain ledger sees it (what the
+    §4.1.2.2 safeguard protects). *)
+
 val is_ceased : t -> sidechain -> bool
+(** Whether the MC considers the sidechain ceased at the current tip
+    (no certificate inside a submission window, Fig. 3). *)
+
 val find_sidechain : t -> string -> sidechain option
+(** Looks a sidechain up by the [name] given to {!add_latus}. *)
 
 val logf : t -> ('a, unit, string, unit) format4 -> 'a
+(** printf into the world's event log. *)
+
 val dump_log : t -> string list
 (** Oldest first. *)

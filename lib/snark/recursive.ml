@@ -103,22 +103,45 @@ let merge sys t1 t2 =
         }
   end
 
-let rec fold_balanced sys = function
+let fold_balanced ?(pool = Pool.sequential) sys = function
   | [] -> Error "fold_balanced: empty transition list"
-  | [ t ] -> Ok t
   | ts ->
-    (* Merge adjacent pairs, halving the list each pass (Fig. 10). *)
-    let rec pass acc = function
-      | [] -> Ok (List.rev acc)
-      | [ t ] -> Ok (List.rev (t :: acc))
-      | t1 :: t2 :: rest -> (
-        match merge sys t1 t2 with
-        | Error e -> Error e
-        | Ok m -> pass (m :: acc) rest)
+    (* Merge adjacent pairs, halving the list each pass (Fig. 10). The
+       pairs of one level share no state, so each level is a parallel
+       map; an odd trailing element is carried up unchanged. Results are
+       identical to the sequential left-to-right pass: the pairing is
+       positional and [merge] is deterministic. *)
+    let rec level arr =
+      let n = Array.length arr in
+      if n = 1 then Ok arr.(0)
+      else begin
+        let pairs = n / 2 in
+        let merged =
+          Pool.init_array pool ~chunk:1 pairs (fun i ->
+              merge sys arr.(2 * i) arr.((2 * i) + 1))
+        in
+        (* Report the first error in pair order, as the sequential pass
+           would. *)
+        let rec first_error i =
+          if i >= pairs then None
+          else
+            match merged.(i) with
+            | Error e -> Some e
+            | Ok _ -> first_error (i + 1)
+        in
+        match first_error 0 with
+        | Some e -> Error e
+        | None ->
+          level
+            (Array.init
+               ((n + 1) / 2)
+               (fun i ->
+                 if i < pairs then
+                   match merged.(i) with Ok m -> m | Error _ -> assert false
+                 else arr.(n - 1)))
+      end
     in
-    (match pass [] ts with
-    | Error e -> Error e
-    | Ok next -> fold_balanced sys next)
+    level (Array.of_list ts)
 
 let fold_sequential sys = function
   | [] -> Error "fold_sequential: empty transition list"

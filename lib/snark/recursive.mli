@@ -23,8 +23,12 @@ type system
 type transition_proof
 
 val create : name:string -> base_vks:Backend.verification_key list -> system
+(** Sets up the merge circuit for a family of base circuits; only
+    proofs under one of [base_vks] are accepted as leaves. *)
 
 val merge_vk : system -> Backend.verification_key
+(** The verification key of the merge circuit — what a verifier of the
+    final folded proof needs (together with the endpoint states). *)
 
 val base_public : s_from:Fp.t -> s_to:Fp.t -> extra:Fp.t array -> Fp.t array
 (** Assembles the public-input vector convention for base circuits:
@@ -47,15 +51,28 @@ val merge :
     from [s_from] of the second) or either child fails verification. *)
 
 val fold_balanced :
-  system -> transition_proof list -> (transition_proof, string) result
-(** Balanced binary merge of a non-empty adjacency-ordered list. *)
+  ?pool:Pool.t ->
+  system ->
+  transition_proof list ->
+  (transition_proof, string) result
+(** Balanced binary merge of a non-empty adjacency-ordered list.
+
+    With a [pool], every level of the Fig. 10 merge tree is a parallel
+    map over its adjacent pairs (the pairs of one level are
+    independent; levels are barriers). The resulting proof — and on
+    failure, the reported error — is bit-identical to the sequential
+    pass for every domain count, because the pairing is positional and
+    {!merge} is deterministic. Default: {!Pool.sequential}. *)
 
 val fold_sequential :
   system -> transition_proof list -> (transition_proof, string) result
 (** Left fold (degenerate tree) — the ablation comparison shape. *)
 
 val s_from : transition_proof -> Fp.t
+(** The state the covered transition chain starts from. *)
+
 val s_to : transition_proof -> Fp.t
+(** The state the covered transition chain ends at. *)
 
 val depth : transition_proof -> int
 (** Merge-tree height above base leaves (0 for a base proof). *)
@@ -71,3 +88,5 @@ val final_proof : transition_proof -> Backend.proof
     withdrawal certificate's witness. *)
 
 val proof_size_bytes : transition_proof -> int
+(** Wire size of {!final_proof} — constant regardless of {!base_count}
+    (the paper's headline property). *)

@@ -1,0 +1,206 @@
+(* The Domain worker pool: scheduling edge cases (empty input, one
+   domain, more domains than tasks), exception propagation, and the
+   load-bearing guarantee — everything built on the pool is
+   bit-identical to the sequential path for every domain count. *)
+
+open Zen_crypto
+open Zen_latus
+open Zendoo
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let params = Params.default
+let family = lazy (Circuits.make params)
+
+let with_domains domains f = Pool.with_pool ~domains f
+
+(* ---- scheduling edge cases ---- *)
+
+let test_empty_input () =
+  with_domains 4 @@ fun pool ->
+  checki "init_array 0" 0 (Array.length (Pool.init_array pool 0 (fun _ -> assert false)));
+  checkb "map_list []" true (Pool.map_list pool (fun x -> x + 1) [] = []);
+  Pool.parallel_for pool ~n:0 (fun _ -> assert false)
+
+let test_one_domain_is_sequential () =
+  (* domains=1 must never spawn: tasks run on the caller's domain, in
+     order, so effects on non-atomic state are safe. *)
+  let pool = Pool.create ~domains:1 in
+  checki "domains" 1 (Pool.domains pool);
+  let trace = ref [] in
+  Pool.parallel_for pool ~n:5 (fun i -> trace := i :: !trace);
+  checkb "in order on caller" true (!trace = [ 4; 3; 2; 1; 0 ]);
+  Pool.shutdown pool;
+  checkb "sequential handle reusable after shutdown" true
+    (Pool.map_list Pool.sequential string_of_int [ 1; 2 ] = [ "1"; "2" ])
+
+let test_more_domains_than_tasks () =
+  with_domains 8 @@ fun pool ->
+  let r = Pool.init_array pool ~chunk:1 3 (fun i -> i * i) in
+  checkb "3 tasks on 8 domains" true (r = [| 0; 1; 4 |]);
+  (* n=1 runs inline even on a wide pool *)
+  let r1 = Pool.init_array pool 1 (fun i -> i + 41) in
+  checkb "single task" true (r1 = [| 41 |])
+
+let test_exception_propagates () =
+  with_domains 4 @@ fun pool ->
+  let raised =
+    try
+      Pool.parallel_for pool ~chunk:1 ~n:16 (fun i ->
+          if i mod 5 = 2 then failwith "boom");
+      false
+    with Failure msg -> String.equal msg "boom"
+  in
+  checkb "worker exception re-raised in caller" true raised;
+  (* the pool survives a failed operation *)
+  let r = Pool.map_array pool ~chunk:1 (fun x -> x * 2) [| 1; 2; 3; 4 |] in
+  checkb "pool usable after failure" true (r = [| 2; 4; 6; 8 |])
+
+(* ---- determinism of the parallel builders ---- *)
+
+let test_merkle_parallel_identical () =
+  let data = List.init 100 (fun i -> Printf.sprintf "block-%d" i) in
+  let seq = Merkle.of_data data in
+  with_domains 4 @@ fun pool ->
+  let par = Merkle.of_data ~pool data in
+  checkb "merkle root identical" true
+    (Hash.equal (Merkle.root seq) (Merkle.root par))
+
+let test_smt_batch_identical () =
+  let bindings = List.init 200 (fun i -> (i * 7, Fp.of_int (i + 1))) in
+  let seq = ok (Smt.of_bindings ~depth:12 bindings) in
+  with_domains 4 @@ fun pool ->
+  let par = ok (Smt.of_bindings ~pool ~depth:12 bindings) in
+  let folded =
+    List.fold_left (fun t (k, v) -> Smt.set t k v) (Smt.create ~depth:12)
+      bindings
+  in
+  checkb "smt batch = batch on pool" true (Fp.equal (Smt.root seq) (Smt.root par));
+  checkb "smt batch = fold of set" true
+    (Fp.equal (Smt.root folded) (Smt.root par));
+  checkb "smt duplicate position rejected" true
+    (Result.is_error (Smt.of_bindings ~depth:12 [ (1, Fp.one); (1, Fp.one) ]))
+
+let test_mst_batch_identical () =
+  let utxos =
+    List.init 50 (fun i ->
+        Utxo.make
+          ~addr:(Hash.of_string "pool-test")
+          ~amount:(Amount.of_int_exn (i + 1))
+          ~nonce:(Hash.of_string (Printf.sprintf "n%d" i)))
+  in
+  let incremental =
+    List.fold_left
+      (fun m u -> fst (ok (Mst.insert m u)))
+      (Mst.create params) utxos
+  in
+  with_domains 4 @@ fun pool ->
+  let batch = ok (Mst.of_utxos ~pool params utxos) in
+  checkb "mst batch = incremental inserts" true
+    (Fp.equal (Mst.root incremental) (Mst.root batch))
+
+(* ---- epoch proofs and certificates across domain counts ---- *)
+
+let workload steps seed =
+  List.init steps (fun i ->
+      Sc_tx.Insert
+        (Utxo.make
+           ~addr:(Hash.of_string "t-pool")
+           ~amount:(Amount.of_int_exn (i + 1))
+           ~nonce:(Hash.of_string (Printf.sprintf "t-pool-%d-%d" seed i))))
+
+(* Everything observable from one epoch proven on [domains] domains:
+   per-task proof bytes, dispatch rewards, the merged epoch proof, the
+   certificate-facing binding proof, and the certificate hash. *)
+let epoch_fingerprint ~domains ~steps ~seed =
+  let family = Lazy.force family in
+  with_domains domains @@ fun pool ->
+  let proofs, stats =
+    ok
+      (Prover_pool.prove_epoch ~pool family
+         ~initial:(Sc_state.create params)
+         ~steps:(workload steps seed) ~workers:3 ~seed)
+  in
+  let rsys =
+    Zen_snark.Recursive.create ~name:"t-pool"
+      ~base_vks:(Circuits.base_vks family)
+  in
+  let top = ok (Prover_pool.merge_all ~pool family rsys proofs) in
+  let bt_root = Backward_transfer.list_root [] in
+  let proofdata = Proofdata.[ Digest Hash.zero; Field Fp.one; Blob "" ] in
+  let binding =
+    ok
+      (Circuits.prove_wcert_binding family ~quality:1 ~bt_root
+         ~end_prev_epoch:(Hash.of_string "prev")
+         ~end_epoch:(Hash.of_string "cur") ~proofdata
+         ~s_prev:(Zen_snark.Recursive.s_from top)
+         ~s_last:(Zen_snark.Recursive.s_to top))
+  in
+  let cert =
+    Withdrawal_certificate.make ~ledger_id:(Hash.of_string "sc") ~epoch_id:0
+      ~quality:1 ~bt_list:[] ~proofdata ~proof:binding
+  in
+  ( List.map
+      (fun tp -> Zen_snark.Backend.proof_encode tp.Prover_pool.proof)
+      proofs,
+    stats.Prover_pool.rewards,
+    Zen_snark.Backend.proof_encode (Zen_snark.Recursive.final_proof top),
+    Zen_snark.Backend.proof_encode binding,
+    Withdrawal_certificate.hash cert )
+
+let prop_epoch_identical_across_domains =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"epoch proof/certificate identical on 1/2/4 domains"
+       ~count:3
+       QCheck2.Gen.(pair (int_range 1 6) (int_range 0 1000))
+       (fun (steps, seed) ->
+         let base, rew, top, bind, cert =
+           epoch_fingerprint ~domains:1 ~steps ~seed
+         in
+         List.for_all
+           (fun domains ->
+             let base', rew', top', bind', cert' =
+               epoch_fingerprint ~domains ~steps ~seed
+             in
+             base = base' && rew = rew' && String.equal top top'
+             && String.equal bind bind' && Hash.equal cert cert')
+           [ 2; 4 ]))
+
+let test_fold_balanced_parallel_identical () =
+  let family = Lazy.force family in
+  let proofs, _ =
+    ok
+      (Prover_pool.prove_epoch family ~initial:(Sc_state.create params)
+         ~steps:(workload 7 5) ~workers:2 ~seed:5)
+  in
+  let rsys () =
+    Zen_snark.Recursive.create ~name:"t-pool-fold"
+      ~base_vks:(Circuits.base_vks family)
+  in
+  let seq = ok (Prover_pool.merge_all family (rsys ()) proofs) in
+  with_domains 2 @@ fun pool ->
+  let par = ok (Prover_pool.merge_all ~pool family (rsys ()) proofs) in
+  checkb "odd-width merge tree identical" true
+    (String.equal
+       (Zen_snark.Backend.proof_encode (Zen_snark.Recursive.final_proof seq))
+       (Zen_snark.Backend.proof_encode (Zen_snark.Recursive.final_proof par)))
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "empty input" `Quick test_empty_input;
+      Alcotest.test_case "one domain is sequential" `Quick
+        test_one_domain_is_sequential;
+      Alcotest.test_case "more domains than tasks" `Quick
+        test_more_domains_than_tasks;
+      Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "merkle parallel identical" `Quick
+        test_merkle_parallel_identical;
+      Alcotest.test_case "smt batch identical" `Quick test_smt_batch_identical;
+      Alcotest.test_case "mst batch identical" `Quick test_mst_batch_identical;
+      Alcotest.test_case "odd-width fold identical" `Slow
+        test_fold_balanced_parallel_identical;
+      prop_epoch_identical_across_domains;
+    ] )

@@ -4,6 +4,7 @@ let () =
       T_bignum.suite;
       T_crypto.suite;
       T_merkle.suite;
+      T_pool.suite;
       T_ec_schnorr.suite;
       T_snark.suite;
       T_cctp.suite;
