@@ -1,19 +1,44 @@
-(* Benchmark entry point: runs every experiment table (E1–E11,
+(* Benchmark entry point: runs every experiment table (E1–E13,
    EXPERIMENTS.md) and the bechamel micro section.
 
    Usage:
-     dune exec bench/main.exe             # everything
-     dune exec bench/main.exe -- E6 E7    # selected experiments
-     dune exec bench/main.exe -- micro    # micro kernels only *)
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- E6 E7           # selected experiments
+     dune exec bench/main.exe -- micro           # micro kernels only
+     dune exec bench/main.exe -- E1 --json f.json # also dump tables as JSON
+
+   --json FILE writes every experiment table that ran as a
+   "zendoo-bench/1" JSON document (schema in EXPERIMENTS.md); the
+   bechamel micro section prints through its own reporter and is not
+   included. *)
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> []
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
+  let rec split json acc = function
+    | [ "--json" ] ->
+      prerr_endline "error: --json requires a FILE argument";
+      exit 2
+    | "--json" :: path :: rest -> split (Some path) acc rest
+    | x :: rest -> split json (x :: acc) rest
+    | [] -> (json, List.rev acc)
+  in
+  let json, requested = split None [] args in
   let want name = requested = [] || List.mem name requested in
   List.iter
-    (fun (name, run) -> if want name then run ())
+    (fun (name, run) ->
+      if want name then begin
+        Util.begin_experiment name;
+        run ();
+        Util.end_experiment ()
+      end)
     Experiments.all;
   if want "micro" then Micro.run ();
+  Option.iter
+    (fun path ->
+      Util.write_json path;
+      Printf.printf "\n(tables written to %s)\n" path)
+    json;
   print_newline ();
   print_endline "(benchmarks complete; see EXPERIMENTS.md for interpretation)"

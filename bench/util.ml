@@ -31,10 +31,81 @@ let pp_bytes n =
   else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
   else Printf.sprintf "%.2f MiB" (float_of_int n /. (1024. *. 1024.))
 
+(* ---- JSON capture (main.exe --json FILE) ----
+
+   The printing helpers below double as recorders: between
+   [begin_experiment id] and [end_experiment], every header, table and
+   note is also captured, and [write_json] dumps the lot under the
+   "zendoo-bench/1" schema (documented in EXPERIMENTS.md). The bechamel
+   micro section drives its own printer and is not captured. *)
+
+type captured = {
+  id : string;
+  mutable title : string;
+  mutable description : string;
+  mutable tables : (string list * string list list) list; (* newest first *)
+  mutable notes : string list; (* newest first *)
+}
+
+let current : captured option ref = ref None
+let all_captured : captured list ref = ref [] (* newest first *)
+
+let begin_experiment id =
+  let c = { id; title = ""; description = ""; tables = []; notes = [] } in
+  current := Some c;
+  all_captured := c :: !all_captured
+
+let end_experiment () = current := None
+
+let write_json path =
+  let open Zen_obs in
+  let strs l = Json.Arr (List.map (fun s -> Json.Str s) l) in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "zendoo-bench/1");
+        ( "experiments",
+          Json.Arr
+            (List.rev_map
+               (fun c ->
+                 Json.Obj
+                   [
+                     ("id", Json.Str c.id);
+                     ("title", Json.Str c.title);
+                     ("description", Json.Str c.description);
+                     ( "tables",
+                       Json.Arr
+                         (List.rev_map
+                            (fun (columns, rows) ->
+                              Json.Obj
+                                [
+                                  ("columns", strs columns);
+                                  ( "rows",
+                                    Json.Arr (List.map strs rows) );
+                                ])
+                            c.tables) );
+                     ("notes", Json.Arr (List.rev_map (fun s -> Json.Str s) c.notes));
+                   ])
+               !all_captured) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
+
 let header title description =
+  (match !current with
+  | Some c ->
+    c.title <- title;
+    c.description <- description
+  | None -> ());
   Printf.printf "\n=== %s ===\n%s\n" title description
 
 let table ~columns rows =
+  (match !current with
+  | Some c -> c.tables <- (columns, rows) :: c.tables
+  | None -> ());
   let widths =
     List.mapi
       (fun i c ->
@@ -53,4 +124,11 @@ let table ~columns rows =
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
 
-let note fmt = Printf.printf fmt
+let note fmt =
+  Printf.ksprintf
+    (fun s ->
+      (match !current with
+      | Some c -> c.notes <- String.trim s :: c.notes
+      | None -> ());
+      print_string s)
+    fmt

@@ -16,9 +16,36 @@ open Zendoo
 (* --domains: 0 means "ask the hardware". *)
 let resolve_domains d = if d <= 0 then Pool.recommended_domains () else d
 
+(* ---- observability plumbing ----
+
+   [--metrics] prints the human summary on stdout after the run;
+   [--trace-out FILE] writes the Chrome trace. Either one switches the
+   registry on for the whole run; with neither, recording stays a
+   single disabled-branch per site. *)
+
+let with_obs ~metrics ~trace_out f =
+  let wanted = metrics || trace_out <> None in
+  if wanted then Zen_obs.Registry.enable ();
+  let code = f () in
+  if wanted then begin
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Zen_obs.Export.chrome_trace ());
+        close_out oc;
+        Printf.eprintf
+          "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n"
+          path)
+      trace_out;
+    if metrics then print_string (Zen_obs.Export.summary ())
+  end;
+  code
+
 (* ---- simulate ---- *)
 
-let simulate seed ticks epoch_len submit_len fts withhold domains =
+let simulate seed ticks epoch_len submit_len fts withhold domains metrics
+    trace_out =
+  with_obs ~metrics ~trace_out @@ fun () ->
   let pool = Pool.create ~domains:(resolve_domains domains) in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   let h = Zen_sim.Harness.create ~seed () in
@@ -102,7 +129,8 @@ let keys mst_depth =
 
 (* ---- prove ---- *)
 
-let prove steps domains workers mst_depth seed =
+let prove steps domains workers mst_depth seed metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun () ->
   let params = { Params.default with mst_depth } in
   if steps < 1 then begin
     Printf.eprintf "error: --steps must be at least 1\n";
@@ -190,6 +218,21 @@ let domains_t =
            Domain.recommended_domain_count). Results are bit-identical \
            for every value.")
 
+let metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Record metrics during the run and print a summary at exit.")
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run (open in \
+           chrome://tracing or ui.perfetto.dev).")
+
 let simulate_cmd =
   let ticks =
     Arg.(value & opt int 16 & info [ "ticks" ] ~doc:"Simulation rounds.")
@@ -210,7 +253,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
-      $ domains_t)
+      $ domains_t $ metrics_t $ trace_out_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -248,7 +291,9 @@ let prove_cmd =
        ~doc:
          "Prove one epoch on a multicore Domain pool and print measured \
           wall-clock stats")
-    Term.(const prove $ steps $ domains_t $ workers $ depth $ seed)
+    Term.(
+      const prove $ steps $ domains_t $ workers $ depth $ seed $ metrics_t
+      $ trace_out_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in

@@ -52,6 +52,10 @@ let leaf_hash leaf =
   Hash.tagged "scc.leaf" [ Hash.to_raw leaf.id; Hash.to_raw leaf.data ]
 
 let build ?(pool = Pool.sequential) entries =
+  Zen_obs.Trace.with_span ~cat:"core"
+    ~args:[ ("entries", string_of_int (List.length entries)) ]
+    "core.sc_commitment.build"
+  @@ fun () ->
   let ids = List.map (fun e -> e.ledger_id) entries in
   let distinct = Hash.Set.of_list ids in
   if Hash.Set.cardinal distinct <> List.length ids then

@@ -16,6 +16,10 @@ let next_pow2 n =
 
 let of_leaves ?(pool = Pool.sequential) leaves =
   let leaf_count = List.length leaves in
+  Zen_obs.Trace.with_span ~cat:"crypto"
+    ~args:[ ("leaves", string_of_int leaf_count) ]
+    "merkle.of_leaves"
+  @@ fun () ->
   if leaf_count = 0 then { levels = [| [| empty_root |] |]; leaf_count = 0 }
   else begin
     let width = next_pow2 leaf_count in

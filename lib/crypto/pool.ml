@@ -83,12 +83,22 @@ let with_pool ?domains f =
   let t = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* One span per executed chunk, recorded by the executing domain —
+   this is what renders the per-domain task timeline in the Chrome
+   trace export (the tid lane is the domain id). Observation only:
+   behind a disabled registry the wrapper is a single branch. *)
+let chunk_span ~lo ~hi body =
+  Zen_obs.Trace.with_span ~cat:"pool"
+    ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+    "pool.chunk"
+    (fun () ->
+      for i = lo to hi do
+        body i
+      done)
+
 let parallel_for t ?chunk ~n body =
   if n > 0 then begin
-    if t.domains = 1 || n = 1 then
-      for i = 0 to n - 1 do
-        body i
-      done
+    if t.domains = 1 || n = 1 then chunk_span ~lo:0 ~hi:(n - 1) body
     else begin
       let chunk =
         match chunk with
@@ -111,9 +121,7 @@ let parallel_for t ?chunk ~n body =
                try
                  let lo = c * chunk in
                  let hi = min n (lo + chunk) - 1 in
-                 for i = lo to hi do
-                   body i
-                 done
+                 chunk_span ~lo ~hi body
                with e -> ignore (Atomic.compare_and_set failed None (Some e)));
             if Atomic.fetch_and_add remaining (-1) = 1 then begin
               Mutex.lock done_mutex;

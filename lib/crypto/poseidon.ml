@@ -38,8 +38,13 @@ let apply_mds state scratch =
   done;
   Array.blit scratch 0 state 0 width
 
+let permutations =
+  Zen_obs.Counter.make ~help:"Poseidon permutations executed"
+    "crypto.poseidon.permutations"
+
 let permute input =
   if Array.length input <> width then invalid_arg "Poseidon.permute: width 3";
+  Zen_obs.Counter.incr permutations;
   let state = Array.copy input in
   let scratch = Array.make width Fp.zero in
   let half_full = rounds_full / 2 in

@@ -109,8 +109,17 @@ let feed_sub ctx (data : Bytes.t) pos len =
     ctx.buf_len <- !len
   end
 
-let feed_bytes ctx b = feed_sub ctx b 0 (Bytes.length b)
-let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s)
+let bytes_hashed =
+  Zen_obs.Counter.make ~help:"Message bytes absorbed by SHA-256 (pre-padding)"
+    "crypto.sha256.bytes"
+
+let feed_bytes ctx b =
+  Zen_obs.Counter.add bytes_hashed (Bytes.length b);
+  feed_sub ctx b 0 (Bytes.length b)
+
+let feed ctx s =
+  Zen_obs.Counter.add bytes_hashed (String.length s);
+  feed_sub ctx (Bytes.unsafe_of_string s) 0 (String.length s)
 
 let finalize ctx =
   let bit_len = ctx.total * 8 in
@@ -125,9 +134,10 @@ let finalize ctx =
     Bytes.set len_bytes i (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
   done;
   (* Feeding the length must not count toward [total]; snapshot-free
-     trick: feed pad+len through the normal path, total is unused after. *)
-  feed_bytes ctx pad;
-  feed_bytes ctx len_bytes;
+     trick: feed pad+len through the normal path, total is unused after.
+     Goes via [feed_sub] so padding stays out of the byte counter. *)
+  feed_sub ctx pad 0 (Bytes.length pad);
+  feed_sub ctx len_bytes 0 8;
   assert (ctx.buf_len = 0);
   let out = Bytes.create 32 in
   for i = 0 to 7 do

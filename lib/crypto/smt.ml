@@ -106,6 +106,10 @@ let rec build_sub h base = function
     end)
 
 let of_bindings ?(pool = Pool.sequential) ~depth bindings =
+  Zen_obs.Trace.with_span ~cat:"crypto"
+    ~args:[ ("bindings", string_of_int (List.length bindings)) ]
+    "smt.of_bindings"
+  @@ fun () ->
   if depth < 1 || depth > max_depth then Error "smt: depth out of range"
   else begin
     let cap = 1 lsl depth in

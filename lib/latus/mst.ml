@@ -20,6 +20,10 @@ let create params =
   }
 
 let of_utxos ?pool params utxos =
+  Zen_obs.Trace.with_span ~cat:"latus"
+    ~args:[ ("utxos", string_of_int (List.length utxos)) ]
+    "latus.mst.of_utxos"
+  @@ fun () ->
   let bindings =
     List.map
       (fun u -> (Utxo.position ~mst_depth:params.Params.mst_depth u, u))

@@ -221,7 +221,18 @@ let prove_and_apply t state tx =
     (Ok (state, []))
     steps
 
+let blocks_forged =
+  Zen_obs.Counter.make ~help:"Sidechain blocks forged" "latus.blocks_forged"
+
+let certificates =
+  Zen_obs.Counter.make ~help:"Withdrawal certificates built"
+    "latus.certificates"
+
 let forge t ~mc ~slot ?(enforce_leader = false) () =
+  Zen_obs.Trace.with_span ~cat:"latus"
+    ~args:[ ("slot", string_of_int slot) ]
+    "latus.forge"
+  @@ fun () ->
   let (_ : int) = reconcile t ~mc in
   let* refs = build_refs t ~mc in
   let forger_addrs = Sc_wallet.addresses t.forger in
@@ -248,23 +259,34 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
       let sync_txs = txs_of_refs refs in
       (* Mempool transactions that became invalid (double spends after
          a reorg, stale inputs) are dropped, not fatal. *)
-      let* state1, proofs1 =
-        List.fold_left
-          (fun acc tx ->
-            let* st, ps = acc in
-            let* st, ps' = prove_and_apply t st tx in
-            Ok (st, ps @ ps'))
-          (Ok (state0, []))
-          sync_txs
-      in
-      let state2, proofs2, included =
-        List.fold_left
-          (fun (st, ps, inc) tx ->
-            match prove_and_apply t st tx with
-            | Ok (st', ps') -> (st', ps @ ps', inc @ [ tx ])
-            | Error _ -> (st, ps, inc))
-          (state1, proofs1, [])
-          mempool_txs
+      let* state2, proofs2, included =
+        Zen_obs.Trace.with_span ~cat:"latus"
+          ~args:
+            [
+              ("sync_txs", string_of_int (List.length sync_txs));
+              ("mempool_txs", string_of_int (List.length mempool_txs));
+            ]
+          "latus.validate"
+        @@ fun () ->
+        let* state1, proofs1 =
+          List.fold_left
+            (fun acc tx ->
+              let* st, ps = acc in
+              let* st, ps' = prove_and_apply t st tx in
+              Ok (st, ps @ ps'))
+            (Ok (state0, []))
+            sync_txs
+        in
+        let state2, proofs2, included =
+          List.fold_left
+            (fun (st, ps, inc) tx ->
+              match prove_and_apply t st tx with
+              | Ok (st', ps') -> (st', ps @ ps', inc @ [ tx ])
+              | Error _ -> (st, ps, inc))
+            (state1, proofs1, [])
+            mempool_txs
+        in
+        Ok (state2, proofs2, included)
       in
       let parent =
         match tip_record t with
@@ -295,6 +317,7 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
         List.filter
           (fun tx -> not (List.memq tx included))
           t.mempool;
+      Zen_obs.Counter.incr blocks_forged;
       Ok (Some block)
     end
   end
@@ -326,6 +349,10 @@ let build_certificate t ~mc =
     match completing_record t ~epoch with
     | None -> Ok None (* epoch not yet complete *)
     | Some last_record ->
+      Zen_obs.Trace.with_span ~cat:"latus"
+        ~args:[ ("epoch", string_of_int epoch) ]
+        "latus.certify"
+      @@ fun () ->
       let end_state = last_record.state_after in
       let s_prev = epoch_start_hash t ~epoch in
       let s_last = Sc_state.hash end_state in
@@ -341,7 +368,12 @@ let build_certificate t ~mc =
           if Fp.equal s_prev s_last then Ok ()
           else Error "certificate: state moved without transition proofs"
         | _ -> (
-          let* top = Recursive.fold_balanced ~pool:t.pool t.rsys proofs in
+          let* top =
+            Zen_obs.Trace.with_span ~cat:"latus"
+              ~args:[ ("proofs", string_of_int (List.length proofs)) ]
+              "latus.fold"
+            @@ fun () -> Recursive.fold_balanced ~pool:t.pool t.rsys proofs
+          in
           if not (Recursive.verify t.rsys top) then
             Error "certificate: epoch transition proof rejected"
           else if
@@ -391,6 +423,7 @@ let build_certificate t ~mc =
             end_block_hash = Sc_block.hash last_record.block;
           } )
         :: t.archives;
+      Zen_obs.Counter.incr certificates;
       Ok (Some (Tx.Certificate cert))
   end
 

@@ -21,7 +21,9 @@ type stats = {
   rewards : (int * int) list;
 }
 
-let now = Unix.gettimeofday
+(* Swappable clock: tests install [Zen_obs.Clock.deterministic] to make
+   the per-task [seconds] and [wall] fields reproducible. *)
+let now () = Zen_obs.Clock.now ()
 
 let dispatch ~rng ~workers ~tasks =
   if workers <= 0 then invalid_arg "Prover_pool.dispatch: no workers";
@@ -42,6 +44,14 @@ let snapshots initial steps =
   |> Result.map (fun (_, out) -> List.rev out)
 
 let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed =
+  Zen_obs.Trace.with_span ~cat:"latus"
+    ~args:
+      [
+        ("steps", string_of_int (List.length steps));
+        ("domains", string_of_int (Pool.domains pool));
+      ]
+    "latus.prove_epoch"
+  @@ fun () ->
   let rng = Rng.create seed in
   let assignment = dispatch ~rng ~workers ~tasks:(List.length steps) in
   let* snaps = snapshots initial steps in
@@ -55,6 +65,14 @@ let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed 
     Pool.init_array pool ~chunk:1 (Array.length snaps) (fun index ->
         let state, step = snaps.(index) in
         let t = now () in
+        Zen_obs.Trace.with_span ~cat:"latus"
+          ~args:
+            [
+              ("step", string_of_int index);
+              ("worker", string_of_int assignment.(index));
+            ]
+          "latus.prove_step"
+        @@ fun () ->
         match Circuits.prove_step family state step with
         | Error e -> Error e
         | Ok (proof, vk, s_from, s_to) ->
@@ -106,6 +124,10 @@ let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed 
       } )
 
 let merge_all ?(pool = Pool.sequential) _family rsys proofs =
+  Zen_obs.Trace.with_span ~cat:"latus"
+    ~args:[ ("proofs", string_of_int (List.length proofs)) ]
+    "latus.merge_all"
+  @@ fun () ->
   (* Wrapping each base proof re-verifies it — constant-cost tasks,
      mapped in parallel — then the log-depth merge tree parallelizes
      per level inside [fold_balanced]. *)

@@ -1,0 +1,11 @@
+let real = Unix.gettimeofday
+
+let source : (unit -> float) Atomic.t = Atomic.make real
+
+let now () = (Atomic.get source) ()
+let set f = Atomic.set source f
+let reset () = Atomic.set source real
+
+let deterministic ?(start = 0.) ?(step = 1e-3) () =
+  let k = Atomic.make 0 in
+  fun () -> start +. (float_of_int (Atomic.fetch_and_add k 1) *. step)

@@ -1,0 +1,20 @@
+type t = { mutable entries : string list (* newest first *); mu : Mutex.t }
+
+let create () = { entries = []; mu = Mutex.create () }
+
+let add t s =
+  Mutex.lock t.mu;
+  t.entries <- s :: t.entries;
+  Mutex.unlock t.mu;
+  Trace.instant ~cat:"event" s
+
+let addf t fmt = Printf.ksprintf (add t) fmt
+
+let newest_first t =
+  Mutex.lock t.mu;
+  let es = t.entries in
+  Mutex.unlock t.mu;
+  es
+
+let items t = List.rev (newest_first t)
+let length t = List.length (newest_first t)

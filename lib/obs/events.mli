@@ -1,0 +1,26 @@
+(** Ordered, human-readable event logs (the harness's narration).
+
+    A thin mutex-protected string log that doubles as a trace source:
+    when the registry is enabled, every {!add} also records a
+    {!Trace.instant} (category ["event"]), so harness narration shows
+    up on the Chrome-trace timeline alongside the spans it explains.
+    Unlike metrics, an [Events.t] always records — the log is the
+    harness's functional output, not an optional observation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> unit
+
+val addf : t -> ('a, unit, string, unit) format4 -> 'a
+(** printf-style {!add}. *)
+
+val items : t -> string list
+(** Oldest first (the order [Harness.dump_log] has always promised). *)
+
+val newest_first : t -> string list
+(** The raw internal order (the old [Harness.t.log] field exposed
+    newest-first; kept for bug-compatibility). *)
+
+val length : t -> int

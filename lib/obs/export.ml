@@ -1,0 +1,273 @@
+type span_stat = {
+  span_name : string;
+  span_count : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+let span_stats () =
+  let tbl : (string, span_stat ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.phase with
+      | Trace.Instant -> ()
+      | Trace.Complete -> (
+        match Hashtbl.find_opt tbl e.name with
+        | None ->
+          Hashtbl.add tbl e.name
+            (ref
+               {
+                 span_name = e.name;
+                 span_count = 1;
+                 total_s = e.dur;
+                 min_s = e.dur;
+                 max_s = e.dur;
+               })
+        | Some s ->
+          s :=
+            {
+              !s with
+              span_count = !s.span_count + 1;
+              total_s = !s.total_s +. e.dur;
+              min_s = Float.min !s.min_s e.dur;
+              max_s = Float.max !s.max_s e.dur;
+            }))
+    (Trace.events ());
+  Hashtbl.fold (fun _ s acc -> !s :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+
+(* ---- human-readable summary ---- *)
+
+let pp_seconds s =
+  if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let add_table buf ~columns rows =
+  if rows <> [] then begin
+    let widths =
+      List.mapi
+        (fun i c ->
+          List.fold_left
+            (fun w row -> max w (String.length (List.nth row i)))
+            (String.length c) rows)
+        columns
+    in
+    let line cells =
+      List.iteri
+        (fun i cell ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s" (List.nth widths i) cell))
+        cells;
+      Buffer.add_char buf '\n'
+    in
+    line columns;
+    line (List.map (fun w -> String.make w '-') widths);
+    List.iter line rows
+  end
+
+let summary () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "\n=== zen_obs metrics ===\n";
+  let counters =
+    List.filter (fun c -> Counter.value c <> 0) (Counter.all ())
+  in
+  if counters <> [] then begin
+    Buffer.add_string buf "\ncounters\n";
+    add_table buf ~columns:[ "name"; "value" ]
+      (List.map
+         (fun c -> [ Counter.name c; string_of_int (Counter.value c) ])
+         counters)
+  end;
+  let gauges = List.filter (fun g -> Gauge.value g <> 0.) (Gauge.all ()) in
+  if gauges <> [] then begin
+    Buffer.add_string buf "\ngauges\n";
+    add_table buf ~columns:[ "name"; "value" ]
+      (List.map
+         (fun g -> [ Gauge.name g; Printf.sprintf "%g" (Gauge.value g) ])
+         gauges)
+  end;
+  let histograms =
+    List.filter (fun h -> (Histogram.snapshot h).Histogram.count <> 0)
+      (Histogram.all ())
+  in
+  if histograms <> [] then begin
+    Buffer.add_string buf "\nhistograms\n";
+    add_table buf ~columns:[ "name"; "count"; "sum"; "mean" ]
+      (List.map
+         (fun h ->
+           let s = Histogram.snapshot h in
+           [
+             Histogram.name h;
+             string_of_int s.Histogram.count;
+             Printf.sprintf "%g" s.Histogram.sum;
+             Printf.sprintf "%g"
+               (s.Histogram.sum /. float_of_int (max 1 s.Histogram.count));
+           ])
+         histograms)
+  end;
+  let spans = span_stats () in
+  if spans <> [] then begin
+    Buffer.add_string buf "\nspans\n";
+    add_table buf ~columns:[ "name"; "count"; "total"; "mean"; "min"; "max" ]
+      (List.map
+         (fun s ->
+           [
+             s.span_name;
+             string_of_int s.span_count;
+             pp_seconds s.total_s;
+             pp_seconds (s.total_s /. float_of_int (max 1 s.span_count));
+             pp_seconds s.min_s;
+             pp_seconds s.max_s;
+           ])
+         spans)
+  end;
+  if counters = [] && gauges = [] && histograms = [] && spans = [] then
+    Buffer.add_string buf
+      "(nothing recorded — was the registry enabled during the run?)\n";
+  let dropped = Trace.dropped () in
+  if dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "\nWARNING: %d trace events dropped (buffer limit)\n"
+         dropped);
+  Buffer.contents buf
+
+(* ---- stable JSON ---- *)
+
+let json () =
+  let counters =
+    List.map
+      (fun c ->
+        Json.Obj
+          [ ("name", Json.Str (Counter.name c));
+            ("value", Json.Int (Counter.value c)) ])
+      (Counter.all ())
+  in
+  let gauges =
+    List.map
+      (fun g ->
+        Json.Obj
+          [ ("name", Json.Str (Gauge.name g));
+            ("value", Json.Float (Gauge.value g)) ])
+      (Gauge.all ())
+  in
+  let histograms =
+    List.map
+      (fun h ->
+        let s = Histogram.snapshot h in
+        Json.Obj
+          [
+            ("name", Json.Str (Histogram.name h));
+            ("count", Json.Int s.Histogram.count);
+            ("sum", Json.Float s.Histogram.sum);
+            ( "buckets",
+              Json.Arr
+                (List.map
+                   (fun (le, n) ->
+                     Json.Obj
+                       [
+                         ( "le",
+                           if le = infinity then Json.Str "+inf"
+                           else Json.Float le );
+                         ("count", Json.Int n);
+                       ])
+                   s.Histogram.buckets) );
+          ])
+      (Histogram.all ())
+  in
+  let spans =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.Str s.span_name);
+            ("count", Json.Int s.span_count);
+            ("total_s", Json.Float s.total_s);
+            ("min_s", Json.Float s.min_s);
+            ("max_s", Json.Float s.max_s);
+          ])
+      (span_stats ())
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "zen-obs/1");
+      ("counters", Json.Arr counters);
+      ("gauges", Json.Arr gauges);
+      ("histograms", Json.Arr histograms);
+      ("spans", Json.Arr spans);
+      ( "trace",
+        Json.Obj
+          [
+            ("events", Json.Int (List.length (Trace.events ())));
+            ("dropped", Json.Int (Trace.dropped ()));
+          ] );
+    ]
+
+let json_string () = Json.to_string (json ())
+
+(* ---- Chrome trace-event format ---- *)
+
+let chrome_trace () =
+  let events = Trace.events () in
+  let t0 =
+    List.fold_left
+      (fun acc (e : Trace.event) -> Float.min acc e.ts)
+      infinity events
+  in
+  let t0 = if t0 = infinity then 0. else t0 in
+  let us t = (t -. t0) *. 1e6 in
+  let args_json args =
+    ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args))
+  in
+  let tids =
+    List.sort_uniq Int.compare
+      (List.map (fun (e : Trace.event) -> e.tid) events)
+  in
+  let thread_names =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            args_json [ ("name", Printf.sprintf "domain %d" tid) ];
+          ])
+      tids
+  in
+  let records =
+    List.map
+      (fun (e : Trace.event) ->
+        let common =
+          [
+            ("name", Json.Str e.name);
+            ("cat", Json.Str (if e.cat = "" then "default" else e.cat));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int e.tid);
+            ("ts", Json.Float (us e.ts));
+          ]
+        in
+        match e.phase with
+        | Trace.Complete ->
+          Json.Obj
+            (common
+            @ [
+                ("ph", Json.Str "X");
+                ("dur", Json.Float (e.dur *. 1e6));
+                args_json e.args;
+              ])
+        | Trace.Instant ->
+          Json.Obj
+            (common
+            @ [ ("ph", Json.Str "i"); ("s", Json.Str "t"); args_json e.args ]))
+      events
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (thread_names @ records));
+         ("displayTimeUnit", Json.Str "ms");
+       ])

@@ -1,0 +1,43 @@
+(** The three exporters over the merged registry state.
+
+    All three are read-only merges of the per-domain buffers; none of
+    them mutates or stops recording. *)
+
+type span_stat = {
+  span_name : string;
+  span_count : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+val span_stats : unit -> span_stat list
+(** Per-span-name aggregates over all [Complete] trace events, sorted
+    by name. *)
+
+val summary : unit -> string
+(** Human-readable tables: counters, gauges, histograms, span
+    aggregates, and a truncation warning if any trace events were
+    dropped. This is what [zendoo-cli --metrics] prints at exit. *)
+
+val json : unit -> Json.t
+(** The stable machine-readable document (schema ["zen-obs/1"]):
+    {v
+    { "schema": "zen-obs/1",
+      "counters":   [{"name", "value"}],
+      "gauges":     [{"name", "value"}],
+      "histograms": [{"name", "count", "sum",
+                      "buckets": [{"le", "count"}]}],   // le: number | "+inf"
+      "spans":      [{"name", "count", "total_s", "min_s", "max_s"}],
+      "trace": {"events": int, "dropped": int} }
+    v} *)
+
+val json_string : unit -> string
+
+val chrome_trace : unit -> string
+(** Chrome trace-event format (the JSON-object form with a
+    ["traceEvents"] array) loadable in [chrome://tracing] or Perfetto.
+    Spans become ["ph":"X"] complete events and instants ["ph":"i"],
+    with [ts]/[dur] in microseconds relative to the earliest event,
+    [pid] 1 and [tid] = recording domain id, plus one thread-name
+    metadata record per domain so lanes are labelled. *)

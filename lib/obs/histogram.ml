@@ -1,0 +1,90 @@
+type cell = { counts : int array; mutable sum : float; mutable count : int }
+
+type t = {
+  name : string;
+  help : string;
+  bounds : float array; (* finite upper bounds, ascending *)
+  cells : cell Sharded.t;
+}
+
+type snapshot = { count : int; sum : float; buckets : (float * int) list }
+
+let registered : t list ref = ref []
+let mu = Mutex.create ()
+
+let exponential_bounds ~lo ~factor ~n =
+  if n < 1 || lo <= 0. || factor <= 1. then
+    invalid_arg "Histogram.exponential_bounds";
+  List.init n (fun i -> lo *. (factor ** float_of_int i))
+
+let make ?(help = "") ~bounds name =
+  let bounds = Array.of_list bounds in
+  if Array.length bounds = 0 then invalid_arg "Histogram.make: no bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Histogram.make: bounds must ascend")
+    bounds;
+  Mutex.lock mu;
+  match List.find_opt (fun h -> String.equal h.name name) !registered with
+  | Some h ->
+    Mutex.unlock mu;
+    h
+  | None ->
+    let nbuckets = Array.length bounds + 1 in
+    let h =
+      {
+        name;
+        help;
+        bounds;
+        cells =
+          Sharded.create (fun () ->
+              { counts = Array.make nbuckets 0; sum = 0.; count = 0 });
+      }
+    in
+    registered := h :: !registered;
+    Mutex.unlock mu;
+    Registry.on_reset (fun () ->
+        Sharded.iter h.cells ~f:(fun c ->
+            Array.fill c.counts 0 (Array.length c.counts) 0;
+            c.sum <- 0.;
+            c.count <- 0));
+    h
+
+let bucket_of t v =
+  let n = Array.length t.bounds in
+  let rec go i = if i >= n || v <= t.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t v =
+  if Registry.enabled () then begin
+    let c = Sharded.get t.cells in
+    let b = bucket_of t v in
+    c.counts.(b) <- c.counts.(b) + 1;
+    c.sum <- c.sum +. v;
+    c.count <- c.count + 1
+  end
+
+let snapshot t =
+  let nbuckets = Array.length t.bounds + 1 in
+  let counts = Array.make nbuckets 0 in
+  let sum = ref 0. and count = ref 0 in
+  Sharded.iter t.cells ~f:(fun c ->
+      Array.iteri (fun i n -> counts.(i) <- counts.(i) + n) c.counts;
+      sum := !sum +. c.sum;
+      count := !count + c.count);
+  let buckets =
+    List.init nbuckets (fun i ->
+        let le = if i < Array.length t.bounds then t.bounds.(i) else infinity in
+        (le, counts.(i)))
+  in
+  { count = !count; sum = !sum; buckets }
+
+let name t = t.name
+let help t = t.help
+
+let all () =
+  Mutex.lock mu;
+  let hs = !registered in
+  Mutex.unlock mu;
+  List.sort (fun a b -> String.compare a.name b.name) hs

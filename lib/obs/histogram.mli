@@ -1,0 +1,37 @@
+(** Fixed-bucket histograms with per-domain cells.
+
+    Bucket bounds are fixed at creation ([observe] is a short linear
+    scan — bound counts are small by design); each domain owns a
+    private (counts, sum, count) cell, merged at read time. *)
+
+type t
+
+type snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+      (** cumulative-free per-bucket counts, paired with the bucket's
+          inclusive upper bound; the final bucket's bound is
+          [infinity]. *)
+}
+
+val make : ?help:string -> bounds:float list -> string -> t
+(** [make ~bounds name]: [bounds] are the finite upper bounds, strictly
+    ascending; an implicit [+inf] bucket is appended. Idempotent by
+    name (the first registration's bounds win). Raises
+    [Invalid_argument] on empty or non-ascending bounds. *)
+
+val exponential_bounds : lo:float -> factor:float -> n:int -> float list
+(** [lo, lo*factor, lo*factor^2, …] — [n] bounds for latency-style
+    histograms. *)
+
+val observe : t -> float -> unit
+
+val snapshot : t -> snapshot
+(** Merged view across all domains. *)
+
+val name : t -> string
+val help : t -> string
+
+val all : unit -> t list
+(** Sorted by name. *)

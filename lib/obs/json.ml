@@ -1,0 +1,262 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else begin
+    (* Shortest representation that still contains a marker making it a
+       JSON number (a bare "1" is fine too — Int covers that case). *)
+    let s = Printf.sprintf "%.17g" f in
+    let shorter = Printf.sprintf "%.12g" f in
+    if float_of_string shorter = f then shorter else s
+  end
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let error c msg = raise (Bad (Printf.sprintf "%s at offset %d" msg c.pos))
+let eof c = c.pos >= String.length c.s
+let peek c = c.s.[c.pos]
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    (not (eof c))
+    && match peek c with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance c
+  done
+
+let expect c ch =
+  if eof c || peek c <> ch then error c (Printf.sprintf "expected '%c'" ch);
+  advance c
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s
+    && String.equal (String.sub c.s c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected '%s'" word)
+
+let utf8_of_code buf u =
+  (* Good enough for \uXXXX escapes (BMP only, surrogates re-encoded as
+     replacement characters rather than rejected). *)
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof c then error c "unterminated string";
+    match peek c with
+    | '"' -> advance c
+    | '\\' ->
+      advance c;
+      if eof c then error c "unterminated escape";
+      (match peek c with
+      | '"' -> Buffer.add_char buf '"'; advance c
+      | '\\' -> Buffer.add_char buf '\\'; advance c
+      | '/' -> Buffer.add_char buf '/'; advance c
+      | 'b' -> Buffer.add_char buf '\b'; advance c
+      | 'f' -> Buffer.add_char buf '\012'; advance c
+      | 'n' -> Buffer.add_char buf '\n'; advance c
+      | 'r' -> Buffer.add_char buf '\r'; advance c
+      | 't' -> Buffer.add_char buf '\t'; advance c
+      | 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.s then error c "truncated \\u escape";
+        let hex = String.sub c.s c.pos 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | None -> error c "bad \\u escape"
+        | Some u ->
+          c.pos <- c.pos + 4;
+          utf8_of_code buf u)
+      | _ -> error c "bad escape");
+      go ()
+    | ch when Char.code ch < 0x20 -> error c "raw control character in string"
+    | ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (not (eof c)) && is_num_char (peek c) do
+    advance c
+  done;
+  let text = String.sub c.s start (c.pos - start) in
+  let has_frac =
+    String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') text
+  in
+  if has_frac then begin
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error c "bad number"
+  end
+  else begin
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error c "bad number")
+  end
+
+let rec parse_value c =
+  skip_ws c;
+  if eof c then error c "unexpected end of input";
+  match peek c with
+  | 'n' -> literal c "null" Null
+  | 't' -> literal c "true" (Bool true)
+  | 'f' -> literal c "false" (Bool false)
+  | '"' -> Str (parse_string c)
+  | '[' ->
+    advance c;
+    skip_ws c;
+    if (not (eof c)) && peek c = ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        if eof c then error c "unterminated array";
+        match peek c with
+        | ',' ->
+          advance c;
+          items (v :: acc)
+        | ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> error c "expected ',' or ']'"
+      in
+      Arr (items [])
+    end
+  | '{' ->
+    advance c;
+    skip_ws c;
+    if (not (eof c)) && peek c = '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        (k, parse_value c)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        if eof c then error c "unterminated object";
+        match peek c with
+        | ',' ->
+          advance c;
+          fields (kv :: acc)
+        | '}' ->
+          advance c;
+          List.rev (kv :: acc)
+        | _ -> error c "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | '-' | '0' .. '9' -> parse_number c
+  | _ -> error c "unexpected character"
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if eof c then Ok v else Error (Printf.sprintf "trailing data at offset %d" c.pos)
+  | exception Bad msg -> Error msg
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_list = function Arr items -> items | _ -> []

@@ -1,0 +1,33 @@
+(** A minimal JSON document type with a printer and a strict parser.
+
+    Zero dependencies: this is what lets the exporters emit valid JSON
+    (the printer handles escaping and non-finite floats) and what lets
+    the tests and CI validate exporter output without pulling in a JSON
+    library. Not a streaming parser — documents are built in memory. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Strings are
+    escaped per RFC 8259; non-finite floats render as [null] (JSON has
+    no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 parser: exactly one value, trailing whitespace
+    allowed, no trailing commas or comments. Numbers without [.], [e]
+    or [E] that fit an OCaml [int] parse as [Int], everything else as
+    [Float]. [\uXXXX] escapes are decoded to UTF-8. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up the first binding of [k]; [None] on
+    missing keys and non-objects. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] for any other constructor. *)

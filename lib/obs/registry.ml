@@ -1,0 +1,24 @@
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+
+let with_enabled f =
+  let was = Atomic.get flag in
+  Atomic.set flag true;
+  Fun.protect ~finally:(fun () -> Atomic.set flag was) f
+
+let hooks : (unit -> unit) list ref = ref []
+let mu = Mutex.create ()
+
+let on_reset f =
+  Mutex.lock mu;
+  hooks := f :: !hooks;
+  Mutex.unlock mu
+
+let reset () =
+  Mutex.lock mu;
+  let hs = !hooks in
+  Mutex.unlock mu;
+  List.iter (fun f -> f ()) hs

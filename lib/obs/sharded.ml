@@ -1,0 +1,28 @@
+type 'a t = {
+  key : 'a Domain.DLS.key;
+  cells : 'a list ref;
+  mu : Mutex.t;
+}
+
+let create make =
+  let cells = ref [] in
+  let mu = Mutex.create () in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = make () in
+        Mutex.lock mu;
+        cells := c :: !cells;
+        Mutex.unlock mu;
+        c)
+  in
+  { key; cells; mu }
+
+let get t = Domain.DLS.get t.key
+
+let fold t ~init ~f =
+  Mutex.lock t.mu;
+  let cs = !(t.cells) in
+  Mutex.unlock t.mu;
+  List.fold_left f init cs
+
+let iter t ~f = fold t ~init:() ~f:(fun () c -> f c)

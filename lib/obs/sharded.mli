@@ -1,0 +1,26 @@
+(** Per-domain cells: the contention-free substrate under counters,
+    histograms and trace buffers.
+
+    A [Sharded.t] hands each domain its own private cell (via domain-
+    local storage), created lazily on the domain's first record and
+    registered in a global list for export-time merging. Recording
+    therefore never takes a lock and never bounces a cache line between
+    domains; only cell {e creation} (once per domain per metric) and
+    export-time folds synchronize. Cells of terminated domains stay
+    registered so their contributions are never lost. *)
+
+type 'a t
+
+val create : (unit -> 'a) -> 'a t
+(** [create make] builds a sharded store whose cells are produced by
+    [make] on each domain's first {!get}. *)
+
+val get : 'a t -> 'a
+(** The calling domain's cell (allocated on first use). *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** Folds over every cell ever created, current domains and dead ones
+    alike. Cells are mutable and may be written concurrently; single-
+    word reads never tear. *)
+
+val iter : 'a t -> f:('a -> unit) -> unit

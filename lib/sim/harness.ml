@@ -18,11 +18,11 @@ type t = {
   miner_addr : Hash.t;
   mutable time : int;
   mutable sidechains : sidechain list;
-  mutable log : string list;
+  log : Zen_obs.Events.t;
 }
 
-let logf t fmt = Printf.ksprintf (fun s -> t.log <- s :: t.log) fmt
-let dump_log t = List.rev t.log
+let logf t fmt = Printf.ksprintf (Zen_obs.Events.add t.log) fmt
+let dump_log t = Zen_obs.Events.items t.log
 
 let create ?(pow = Pow.trivial) ~seed () =
   let params = { Chain_state.default_params with pow } in
@@ -35,7 +35,7 @@ let create ?(pow = Pow.trivial) ~seed () =
     miner_addr;
     time = 0;
     sidechains = [];
-    log = [];
+    log = Zen_obs.Events.create ();
   }
 
 let mine t =
@@ -104,7 +104,18 @@ let forward_transfer t sc ~receiver ~payback ~amount =
     logf t "FT of %s to %s" (Amount.to_string amount) sc.name;
     Ok ()
 
+let ticks = Zen_obs.Counter.make ~help:"Harness rounds executed" "sim.ticks"
+
+let mempool_depth =
+  Zen_obs.Gauge.make ~help:"Mainchain mempool depth after the last tick"
+    "sim.mempool.depth"
+
 let tick t =
+  Zen_obs.Counter.incr ticks;
+  Zen_obs.Trace.with_span ~cat:"sim"
+    ~args:[ ("time", string_of_int (t.time + 1)) ]
+    "sim.tick"
+  @@ fun () ->
   mine t;
   List.iter
     (fun sc ->
@@ -122,7 +133,8 @@ let tick t =
           submit t cert_tx;
           logf t "%s submitted certificate" sc.name
       end)
-    t.sidechains
+    t.sidechains;
+  Zen_obs.Gauge.set_int mempool_depth (List.length (Mempool.txs t.mempool))
 
 let tick_n t n =
   for _ = 1 to n do

@@ -28,7 +28,9 @@ type t = {
   miner_addr : Hash.t;
   mutable time : int;
   mutable sidechains : sidechain list;
-  mutable log : string list;  (** newest first; human-readable event log *)
+  log : Zen_obs.Events.t;
+      (** human-readable event log, also mirrored into the trace as
+          instant events; read it through {!dump_log} (oldest first) *)
 }
 
 val create : ?pow:Pow.params -> seed:string -> unit -> t

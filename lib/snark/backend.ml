@@ -15,7 +15,27 @@ type proof = string (* exactly proof_size_bytes bytes *)
 
 let proof_size_bytes = 96
 
+let setups =
+  Zen_obs.Counter.make ~help:"SNARK circuit setups performed" "snark.setup"
+
+let proves =
+  Zen_obs.Counter.make ~help:"SNARK proofs produced (includes failed attempts)"
+    "snark.prove"
+
+let verifies =
+  Zen_obs.Counter.make ~help:"SNARK proof verifications" "snark.verify"
+
+let constraints_proved =
+  Zen_obs.Counter.make
+    ~help:"R1CS constraints covered by prove calls (sum over circuits)"
+    "snark.constraints_proved"
+
 let setup circuit =
+  Zen_obs.Counter.incr setups;
+  Zen_obs.Trace.with_span ~cat:"snark"
+    ~args:[ ("constraints", string_of_int (R1cs.num_constraints circuit)) ]
+    "snark.setup"
+  @@ fun () ->
   let circuit_digest = R1cs.digest circuit in
   let tag_key =
     Sha256.digest ("zendoo.snark.tag" ^ Hash.to_raw circuit_digest)
@@ -43,11 +63,22 @@ let tag vk public =
   ^ Sha256.digest ("zendoo.snark.g1b" ^ mac)
 
 let prove pk ~public ~witness =
+  Zen_obs.Counter.incr proves;
+  Zen_obs.Counter.add constraints_proved (R1cs.num_constraints pk.circuit);
+  Zen_obs.Trace.with_span ~cat:"snark"
+    ~args:
+      [ ("constraints", string_of_int (R1cs.num_constraints pk.circuit)) ]
+    "snark.prove"
+  @@ fun () ->
   match R1cs.satisfied pk.circuit ~public ~witness with
   | Error e -> Error e
   | Ok () -> Ok (tag pk.vk public)
 
+(* Counter only, no span: verification is the hottest backend entry
+   point (every merge verifies both children) and a span per call would
+   dominate the trace buffer. *)
 let verify vk ~public proof =
+  Zen_obs.Counter.incr verifies;
   Array.length public = vk.n_public && String.equal proof (tag vk public)
 
 let pk_circuit pk = pk.circuit

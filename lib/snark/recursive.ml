@@ -75,7 +75,12 @@ let of_base sys ~vk ~s_from ~s_to ~extra proof =
     if verify sys t then Ok t else Error "of_base: base proof does not verify"
   end
 
+let merges =
+  Zen_obs.Counter.make ~help:"Recursive proof merges (includes failed attempts)"
+    "snark.merges"
+
 let merge sys t1 t2 =
+  Zen_obs.Counter.incr merges;
   if not (Fp.equal t1.s_to t2.s_from) then
     Error "merge: transitions are not adjacent"
   else if not (verify sys t1) then Error "merge: left child does not verify"
@@ -106,6 +111,10 @@ let merge sys t1 t2 =
 let fold_balanced ?(pool = Pool.sequential) sys = function
   | [] -> Error "fold_balanced: empty transition list"
   | ts ->
+    Zen_obs.Trace.with_span ~cat:"snark"
+      ~args:[ ("transitions", string_of_int (List.length ts)) ]
+      "recursive.fold_balanced"
+    @@ fun () ->
     (* Merge adjacent pairs, halving the list each pass (Fig. 10). The
        pairs of one level share no state, so each level is a parallel
        map; an odd trailing element is carried up unchanged. Results are

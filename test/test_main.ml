@@ -5,6 +5,7 @@ let () =
       T_crypto.suite;
       T_merkle.suite;
       T_pool.suite;
+      T_obs.suite;
       T_ec_schnorr.suite;
       T_snark.suite;
       T_cctp.suite;
