@@ -1,4 +1,4 @@
-(* Benchmark entry point: runs every experiment table (E1–E13,
+(* Benchmark entry point: runs every experiment table (E1–E14,
    EXPERIMENTS.md) and the bechamel micro section.
 
    Usage:

@@ -6,7 +6,9 @@
      keys            compile the Latus circuit family and show what a
                      sidechain registers with the mainchain
      prove           prove one epoch's steps on a multicore Domain pool
-                     (§5.4.1) and print the measured stats *)
+                     (§5.4.1) and print the measured stats
+     chaos           run the world under a deterministic fault plan
+                     (Zen_sim.Faults) and print a replayable log *)
 
 open Cmdliner
 open Zen_crypto
@@ -204,6 +206,130 @@ let prove steps domains workers mst_depth seed metrics trace_out =
                 stats.Prover_pool.rewards));
         0))
 
+(* ---- chaos ---- *)
+
+(* Everything printed here (and written to --log-out) is a pure
+   function of (seed, plan): no wall-clock values, no machine state.
+   CI runs the command twice and byte-compares the logs. *)
+let chaos seed ticks epoch_len submit_len fts intensity plan_str log_out
+    metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun () ->
+  let plan_result =
+    match plan_str with
+    | Some s -> Zen_sim.Faults.plan_of_string s
+    | None ->
+      (* Setup consumes 5 funding rounds, the creation round and one
+         round per FT before tick_n starts; aim the storm's tick
+         faults at the live window. *)
+      Ok
+        (Zen_sim.Faults.storm ~seed
+           ~first_tick:(7 + fts)
+           ~ticks
+           ~epochs:(max 1 (ticks / epoch_len))
+           ~workers:4 ~intensity ())
+  in
+  match plan_result with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok plan -> (
+    let faults = Zen_sim.Faults.create ~seed plan in
+    let h =
+      Zen_sim.Harness.create ~faults ~seed:(Printf.sprintf "chaos.%d" seed) ()
+    in
+    Zen_sim.Harness.fund h ~blocks:5;
+    let family = Circuits.make Params.default in
+    match
+      Zen_sim.Harness.add_latus h ~name:"sc" ~family ~epoch_len ~submit_len
+        ~activation_delay:1 ()
+    with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok sc ->
+      let user = Sc_wallet.create ~seed:(Printf.sprintf "chaos.%d.user" seed) in
+      let user_addr = Sc_wallet.fresh_address user in
+      for i = 1 to fts do
+        match
+          Zen_sim.Harness.forward_transfer h sc ~receiver:user_addr
+            ~payback:user_addr
+            ~amount:(Amount.of_int_exn (i * 1_000_000))
+        with
+        | Ok () -> ()
+        | Error e -> Zen_sim.Harness.logf h "ft failed: %s" e
+      done;
+      Zen_sim.Harness.tick_n h ticks;
+      (* A small §5.4.1 proving episode under the plan's epoch-0 worker
+         faults, digest-compared against the fault-free run: crashes
+         must change scheduling, never proof bytes. *)
+      let episode fl =
+        let st = Sc_state.create Params.default in
+        let workload =
+          List.init 8 (fun i ->
+              Sc_tx.Insert
+                (Utxo.make
+                   ~addr:(Hash.of_string "chaos-prove")
+                   ~amount:(Amount.of_int_exn (i + 1))
+                   ~nonce:(Hash.of_string (Printf.sprintf "chaos-%d-%d" seed i))))
+        in
+        Prover_pool.prove_epoch ~faults:fl family ~initial:st ~steps:workload
+          ~workers:4 ~seed
+      in
+      let digest proofs =
+        Hash.to_hex
+          (Hash.of_string
+             (String.concat ""
+                (List.map
+                   (fun tp ->
+                     Zen_snark.Backend.proof_encode tp.Prover_pool.proof)
+                   proofs)))
+      in
+      let worker_faults =
+        (* first epoch of the plan with prover faults, so the episode
+           actually exercises them when the plan has any *)
+        let rec first e =
+          if e > 64 then []
+          else
+            match Zen_sim.Faults.prover_faults faults ~epoch:e with
+            | [] -> first (e + 1)
+            | l -> l
+        in
+        first 0
+      in
+      let retries, identical =
+        match (episode worker_faults, episode []) with
+        | Ok (faulted, stats), Ok (clean, _) ->
+          (stats.Prover_pool.retries, digest faulted = digest clean)
+        | Error _, _ | _, Error _ -> (-1, false)
+      in
+      let certified =
+        let state = Zen_mainchain.Chain.tip_state h.chain in
+        match Zen_mainchain.Sc_ledger.find state.scs sc.ledger_id with
+        | None -> 0
+        | Some s -> List.length s.Zen_mainchain.Sc_ledger.certs
+      in
+      let buf = Buffer.create 4096 in
+      let outf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      outf "seed %d\n" seed;
+      outf "plan %s\n" (Zen_sim.Faults.plan_to_string plan);
+      List.iter (fun l -> outf "%s\n" l) (Zen_sim.Harness.dump_log h);
+      outf
+        "chaos: %d faults injected | %d epochs certified | ceased %b | MC \
+         height %d | prover retries %d | proof identical %b\n"
+        (Zen_sim.Faults.injected faults)
+        certified
+        (Zen_sim.Harness.is_ceased h sc)
+        (Zen_mainchain.Chain.height h.chain)
+        retries identical;
+      print_string (Buffer.contents buf);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Buffer.contents buf);
+          close_out oc)
+        log_out;
+      0)
+
 (* ---- cmdliner wiring ---- *)
 
 let seed_t =
@@ -295,9 +421,68 @@ let prove_cmd =
       const prove $ steps $ domains_t $ workers $ depth $ seed $ metrics_t
       $ trace_out_t)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Storm seed; with --plan, only labels the run.")
+  in
+  let ticks =
+    Arg.(value & opt int 24 & info [ "ticks" ] ~doc:"Simulation rounds.")
+  in
+  let epoch_len =
+    Arg.(
+      value & opt int 4 & info [ "epoch-len" ] ~doc:"Withdrawal epoch length.")
+  in
+  let submit_len =
+    Arg.(
+      value & opt int 5
+      & info [ "submit-len" ]
+          ~doc:
+            "Certificate window. The default overlaps consecutive windows \
+             (submit-len > epoch-len), exercising sequential certification, \
+             and tolerates reorgs up to the epoch length.")
+  in
+  let fts =
+    Arg.(value & opt int 2 & info [ "fts" ] ~doc:"Forward transfers to inject.")
+  in
+  let intensity =
+    Arg.(
+      value & opt int 25
+      & info [ "intensity" ]
+          ~doc:"Storm fault probability in percent (0 = no faults).")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Explicit fault plan (e.g. \
+             $(b,crash@0:w1,delay@1:+2,reorg@9:d2,skew@5:+120ms)) instead of \
+             a seed-derived storm.")
+  in
+  let log_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the replayable run log to FILE (byte-identical for \
+             the same seed and plan).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the world under a deterministic fault plan and print a \
+          replayable log")
+    Term.(
+      const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ intensity
+      $ plan $ log_out $ metrics_t $ trace_out_t)
+
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "zendoo-cli" ~doc)
-          [ simulate_cmd; schedule_cmd; keys_cmd; prove_cmd ]))
+          [ simulate_cmd; schedule_cmd; keys_cmd; prove_cmd; chaos_cmd ]))

@@ -33,9 +33,13 @@ let make ~ledger_id ~start_block ~epoch_len ~submit_len ~wcert_vk ?btr_vk
     if epoch_len < 2 then Error "sidechain config: epoch_len must be >= 2"
     else Ok ()
   in
+  (* [submit_len] may exceed [epoch_len]: a grace window longer than
+     an epoch makes consecutive submission windows overlap, which is a
+     legitimate configuration (slow certifiers get more time). The
+     ledger enforces sequential certification so overlap can never
+     strand an uncertified epoch (see Sc_ledger.accept_cert). *)
   let* () =
-    if submit_len < 1 || submit_len > epoch_len then
-      Error "sidechain config: submit_len must be in [1, epoch_len]"
+    if submit_len < 1 then Error "sidechain config: submit_len must be >= 1"
     else Ok ()
   in
   let* () =

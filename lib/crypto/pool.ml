@@ -43,6 +43,19 @@ let recommended_domains () = Domain.recommended_domain_count ()
 
 let domains t = t.domains
 
+(* A worker wrapper that raises is a bug (the closures built below
+   catch their own exceptions), but swallowing everything with
+   [try ... with _ -> ()] hides real trouble: it would eat
+   [Stack_overflow] and [Out_of_memory] too, leaving a half-dead pool
+   with no trace. Asynchronous runtime exceptions are re-raised — the
+   domain dies and [Domain.join] in {!shutdown} rethrows them in the
+   caller — and anything else is counted so it can never vanish
+   silently. *)
+let swallowed =
+  Zen_obs.Counter.make
+    ~help:"Exceptions swallowed by pool worker wrappers (should stay 0)"
+    "pool.worker.swallowed"
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   while Queue.is_empty t.queue && not t.closed do
@@ -52,9 +65,9 @@ let rec worker_loop t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
-    (* Tasks are wrappers built below and never raise; be defensive
-       anyway so a worker domain cannot die silently. *)
-    (try task () with _ -> ());
+    (try task () with
+    | (Stack_overflow | Out_of_memory) as e -> raise e
+    | _ -> Zen_obs.Counter.incr swallowed);
     worker_loop t
   end
 

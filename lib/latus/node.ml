@@ -329,6 +329,26 @@ let certified_epochs t = List.rev_map fst t.archives
 let next_uncertified_epoch t =
   match t.archives with [] -> 0 | (e, _) :: _ -> e + 1
 
+(* The epoch to certify next is decided by the mainchain, not by the
+   node's archive: a certificate the node built can be lost before
+   acceptance (reorg, dropped submission), and with the ledger's
+   sequential-certification rule every later epoch would then be
+   rejected as out of order. Targeting the MC's earliest uncertified
+   epoch lets the node rebuild and resubmit a lost certificate from its
+   retained records instead of stranding the sidechain. *)
+let certificate_target t ~mc =
+  let node_next = next_uncertified_epoch t in
+  let mc_state = Chain.tip_state mc in
+  match Sc_ledger.find mc_state.scs t.config.ledger_id with
+  | None -> node_next
+  | Some s ->
+    let mc_next =
+      match Sc_ledger.last_cert s with
+      | None -> 0
+      | Some r -> r.cert.epoch_id + 1
+    in
+    min node_next mc_next
+
 let epoch_records t ~epoch =
   List.rev (List.filter (fun r -> r.wepoch = epoch) t.records)
 
@@ -345,7 +365,11 @@ let epoch_start_hash t ~epoch =
 let build_certificate t ~mc =
   if not t.prove then Error "certificate: node runs with proving disabled"
   else begin
-    let epoch = next_uncertified_epoch t in
+    let mc_now = Chain.tip_state mc in
+    if Sc_ledger.is_ceased mc_now.scs t.config.ledger_id ~height:mc_now.height
+    then Ok None (* a ceased sidechain can never certify again (Def. 4.2) *)
+    else
+    let epoch = certificate_target t ~mc in
     match completing_record t ~epoch with
     | None -> Ok None (* epoch not yet complete *)
     | Some last_record ->
@@ -415,14 +439,17 @@ let build_certificate t ~mc =
         Withdrawal_certificate.make ~ledger_id:t.config.ledger_id
           ~epoch_id:epoch ~quality ~bt_list ~proofdata ~proof
       in
-      t.archives <-
-        ( epoch,
-          {
-            end_state;
-            delta;
-            end_block_hash = Sc_block.hash last_record.block;
-          } )
-        :: t.archives;
+      (* A rebuild of an already-archived epoch (lost certificate)
+         must not duplicate the archive entry. *)
+      if not (List.mem_assoc epoch t.archives) then
+        t.archives <-
+          ( epoch,
+            {
+              end_state;
+              delta;
+              end_block_hash = Sc_block.hash last_record.block;
+            } )
+          :: t.archives;
       Zen_obs.Counter.incr certificates;
       Ok (Some (Tx.Certificate cert))
   end

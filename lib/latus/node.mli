@@ -89,6 +89,18 @@ val build_certificate : t -> mc:Chain.t -> (Tx.t option, string) result
     wraps it for mainchain submission. [None] when no epoch is ready. *)
 
 val certified_epochs : t -> int list
+
+val next_uncertified_epoch : t -> int
+(** The node's own view: one past the newest epoch it has archived (0
+    before any certificate). *)
+
+val certificate_target : t -> mc:Chain.t -> int
+(** The epoch {!build_certificate} will actually target: the
+    mainchain's earliest uncertified epoch when that lags the node's
+    archive (a built certificate was lost to a reorg or never landed —
+    the node rebuilds and resubmits it), the node's own
+    {!next_uncertified_epoch} otherwise. *)
+
 val state_at_epoch_end : t -> epoch:int -> Sc_state.t option
 val delta_for_epoch : t -> epoch:int -> Bytes.t option
 (** The mst_delta committed by this epoch's certificate. *)

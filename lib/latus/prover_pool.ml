@@ -1,9 +1,12 @@
 open Zen_crypto
 open Zen_snark
 
+type worker_fault = Crash | Slow of int
+
 type task_proof = {
   index : int;
   worker : int;
+  attempts : int;
   proof : Backend.proof;
   vk : Backend.verification_key;
   s_from : Fp.t;
@@ -18,8 +21,14 @@ type stats = {
   total_work : float;
   wall : float;
   concurrency : float;
+  retries : int;
   rewards : (int * int) list;
 }
+
+let reassignments =
+  Zen_obs.Counter.make
+    ~help:"Prover tasks re-dispatched away from a crashed worker"
+    "latus.prover.reassignments"
 
 (* Swappable clock: tests install [Zen_obs.Clock.deterministic] to make
    the per-task [seconds] and [wall] fields reproducible. *)
@@ -43,55 +52,106 @@ let snapshots initial steps =
     steps
   |> Result.map (fun (_, out) -> List.rev out)
 
-let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed =
+let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
+    family ~initial ~steps ~workers ~seed =
   Zen_obs.Trace.with_span ~cat:"latus"
     ~args:
       [
         ("steps", string_of_int (List.length steps));
         ("domains", string_of_int (Pool.domains pool));
+        ("faults", string_of_int (List.length faults));
       ]
     "latus.prove_epoch"
   @@ fun () ->
+  if attempt_budget < 1 then invalid_arg "Prover_pool.prove_epoch: attempt_budget";
+  let fault_of w = List.assoc_opt w faults in
+  let crashed w = fault_of w = Some Crash in
+  let survivors =
+    Array.init workers Fun.id |> Array.to_list
+    |> List.filter (fun w -> not (crashed w))
+    |> Array.of_list
+  in
+  let* () =
+    if workers > 0 && Array.length survivors = 0 then
+      Error "prover pool: no surviving workers (all crashed)"
+    else Ok ()
+  in
   let rng = Rng.create seed in
   let assignment = dispatch ~rng ~workers ~tasks:(List.length steps) in
   let* snaps = snapshots initial steps in
   let snaps = Array.of_list snaps in
   let t0 = now () in
   (* The parallel section: one heavyweight proving task per step, all
-     inputs captured above, nothing shared but immutable keys. Each
-     task draws no randomness (Backend.prove is deterministic); a task
-     needing randomness would use [Rng.derive] per its index. *)
+     inputs captured above, nothing shared but immutable keys.
+     Randomness for re-dispatch after a crash comes from [Rng.derive]
+     per task index, so retries are reproducible and domain-safe. *)
   let results =
     Pool.init_array pool ~chunk:1 (Array.length snaps) (fun index ->
         let state, step = snaps.(index) in
-        let t = now () in
-        Zen_obs.Trace.with_span ~cat:"latus"
-          ~args:
-            [
-              ("step", string_of_int index);
-              ("worker", string_of_int assignment.(index));
-            ]
-          "latus.prove_step"
-        @@ fun () ->
-        match Circuits.prove_step family state step with
-        | Error e -> Error e
-        | Ok (proof, vk, s_from, s_to) ->
-          (* A dishonest worker's submission would fail here and earn
-             nothing; in this in-process pool all workers are honest. *)
-          let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
-          if not (Backend.verify vk ~public proof) then
-            Error "prover pool: worker submitted an invalid proof"
-          else
-            Ok
-              {
-                index;
-                worker = assignment.(index);
-                proof;
-                vk;
-                s_from;
-                s_to;
-                seconds = now () -. t;
-              })
+        let task_rng = Rng.derive rng index in
+        (* Re-dispatch: a crashed worker never returns its task, so the
+           dispatcher hands it to a surviving party, burning one attempt
+           from the task's budget each time (§5.4.1's "the task would be
+           re-dispatched" made concrete). *)
+        let rec attempt k w =
+          if crashed w then begin
+            Zen_obs.Counter.incr reassignments;
+            Zen_obs.Trace.instant ~cat:"fault"
+              ~args:
+                [
+                  ("step", string_of_int index);
+                  ("worker", string_of_int w);
+                  ("attempt", string_of_int k);
+                ]
+              "latus.prover.crash";
+            if k >= attempt_budget then
+              Error
+                (Printf.sprintf
+                   "prover pool: task %d exceeded its attempt budget (%d)"
+                   index attempt_budget)
+            else attempt (k + 1) survivors.(Rng.int task_rng (Array.length survivors))
+          end
+          else begin
+            let t = now () in
+            Zen_obs.Trace.with_span ~cat:"latus"
+              ~args:
+                [
+                  ("step", string_of_int index);
+                  ("worker", string_of_int w);
+                  ("attempt", string_of_int k);
+                ]
+              "latus.prove_step"
+            @@ fun () ->
+            match Circuits.prove_step family state step with
+            | Error e -> Error e
+            | Ok (proof, vk, s_from, s_to) ->
+              (* A dishonest worker's submission would fail here and
+                 earn nothing; only the worker whose proof verified is
+                 credited in [rewards]. *)
+              let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
+              if not (Backend.verify vk ~public proof) then
+                Error "prover pool: worker submitted an invalid proof"
+              else
+                let seconds = now () -. t in
+                let seconds =
+                  match fault_of w with
+                  | Some (Slow f) when f > 1 -> seconds *. float_of_int f
+                  | _ -> seconds
+                in
+                Ok
+                  {
+                    index;
+                    worker = w;
+                    attempts = k;
+                    proof;
+                    vk;
+                    s_from;
+                    s_to;
+                    seconds;
+                  }
+          end
+        in
+        attempt 1 assignment.(index))
   in
   let wall = now () -. t0 in
   (* Deterministic error selection: first failing step in epoch order. *)
@@ -104,12 +164,12 @@ let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed 
       results (Ok [])
   in
   let rewards = Array.make workers 0 in
-  let total_work =
+  let retries, total_work =
     List.fold_left
-      (fun acc tp ->
+      (fun (retries, acc) tp ->
         rewards.(tp.worker) <- rewards.(tp.worker) + 1;
-        acc +. tp.seconds)
-      0.0 proofs
+        (retries + tp.attempts - 1, acc +. tp.seconds))
+      (0, 0.0) proofs
   in
   Ok
     ( proofs,
@@ -120,6 +180,7 @@ let prove_epoch ?(pool = Pool.sequential) family ~initial ~steps ~workers ~seed 
         total_work;
         wall;
         concurrency = (if wall > 0.0 then total_work /. wall else 1.0);
+        retries;
         rewards = Array.to_list rewards |> List.mapi (fun i r -> (i, r));
       } )
 

@@ -27,9 +27,14 @@
 open Zen_crypto
 open Zen_snark
 
+type worker_fault =
+  | Crash  (** the worker never returns its tasks *)
+  | Slow of int  (** the worker's proving time is inflated by a factor *)
+
 type task_proof = {
   index : int;  (** position of the step within the epoch *)
-  worker : int;  (** the §5.4.1 party this task was dispatched to *)
+  worker : int;  (** the §5.4.1 party whose submission was credited *)
+  attempts : int;  (** dispatch attempts consumed (1 = no retry) *)
   proof : Backend.proof;
   vk : Backend.verification_key;
   s_from : Fp.t;
@@ -48,7 +53,12 @@ type stats = {
           Not a speedup: on an oversubscribed machine per-task times
           inflate with contention, so compare [wall] against a
           1-domain run to measure real gain (experiment E13 does). *)
-  rewards : (int * int) list;  (** worker id → valid submissions *)
+  retries : int;
+      (** dispatch attempts beyond the first, summed over all tasks —
+          0 when no worker faults were injected *)
+  rewards : (int * int) list;
+      (** worker id → valid submissions; only the worker whose proof
+          actually verified is credited, so a crashed worker earns 0 *)
 }
 
 val dispatch : rng:Rng.t -> workers:int -> tasks:int -> int array
@@ -59,6 +69,8 @@ val dispatch : rng:Rng.t -> workers:int -> tasks:int -> int array
 
 val prove_epoch :
   ?pool:Pool.t ->
+  ?faults:(int * worker_fault) list ->
+  ?attempt_budget:int ->
   Circuits.family ->
   initial:Sc_state.t ->
   steps:Sc_tx.step list ->
@@ -68,10 +80,20 @@ val prove_epoch :
 (** Proves every step of the epoch under a random dispatch, running the
     proving tasks on [pool] (default {!Pool.sequential}, i.e. the plain
     sequential path). The returned proofs are in step order and each
-    has been verified; a worker submitting an invalid proof would
-    simply earn no reward (and the task would be re-dispatched in a
-    full implementation). On failure the reported error is the first
-    failing step in epoch order, independent of scheduling. *)
+    has been verified. On failure the reported error is the first
+    failing step in epoch order, independent of scheduling.
+
+    [faults] (worker id → fault, default none) injects §5.4.1 worker
+    misbehaviour deterministically: a [Crash]ed worker never returns
+    its tasks, so each is re-dispatched to a surviving worker — drawn
+    from [Rng.derive] of the task index, hence reproducible for every
+    domain count — burning one of [attempt_budget] attempts (default 3)
+    per try; [Slow] inflates the reported proving time without
+    affecting the result. Proof bytes, task order and error selection
+    are identical to the fault-free run — only [worker], [attempts],
+    [retries] and the timing fields change — so a certificate built
+    from a faulted epoch is byte-identical to the clean one. All
+    workers crashed, or a task exhausting its budget, is an [Error]. *)
 
 val merge_all :
   ?pool:Pool.t ->

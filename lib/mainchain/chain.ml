@@ -87,6 +87,42 @@ let best_chain t =
   in
   go t.tip []
 
+(* What a reorg disconnected and connected, both oldest first. Walking
+   from [old_tip] until a block on the (new) best chain gives the
+   abandoned suffix; the replacing blocks are the best-chain suffix
+   above the common ancestor. Used by the harness to rebuild the
+   mempool (Mempool.reinject_disconnected). *)
+let reorg_diff t ~old_tip =
+  let on_best h =
+    match Hash.Map.find_opt h t.nodes with
+    | None -> false
+    | Some n -> (
+      match Chain_state.block_hash_at (tip_state t) n.block.header.height with
+      | Some bh -> Hash.equal bh h
+      | None -> false)
+  in
+  let rec abandoned h acc =
+    match Hash.Map.find_opt h t.nodes with
+    | None -> acc
+    | Some n ->
+      if on_best h then acc
+      else abandoned n.block.header.prev (n.block :: acc)
+  in
+  let disconnected = abandoned old_tip [] in
+  let fork_height =
+    match disconnected with
+    | [] -> (tip_state t).height
+    | b :: _ -> b.header.height - 1
+  in
+  let rec connected h acc =
+    match Hash.Map.find_opt h t.nodes with
+    | None -> acc
+    | Some n ->
+      if n.block.header.height <= fork_height then acc
+      else connected n.block.header.prev (n.block :: acc)
+  in
+  (disconnected, connected t.tip [])
+
 let on_best_chain t h =
   match Hash.Map.find_opt h t.nodes with
   | None -> false

@@ -41,3 +41,11 @@ val contains : t -> Hash.t -> bool
 
 val on_best_chain : t -> Hash.t -> bool
 (** Whether a block hash lies on the current best chain. *)
+
+val reorg_diff : t -> old_tip:Hash.t -> Block.t list * Block.t list
+(** [(disconnected, connected)] relative to the current tip, both
+    oldest first: the blocks of the abandoned branch from [old_tip]
+    down to (excluding) the common ancestor, and the best-chain blocks
+    that replaced them. Call it right after an {!add_block} that
+    returned {!Reorg} — the transactions of [disconnected] minus those
+    re-included by [connected] are what a mempool must recover. *)

@@ -19,6 +19,34 @@ let remove_included t (b : Block.t) =
     ids = Hash.Set.diff t.ids included;
   }
 
+let remove t id =
+  if not (Hash.Set.mem id t.ids) then t
+  else
+    {
+      order = List.filter (fun tx -> not (Hash.equal (Tx.txid tx) id)) t.order;
+      ids = Hash.Set.remove id t.ids;
+    }
+
+(* Mempool recovery after a reorg: transactions of the abandoned branch
+   return to the pool unless the new branch already carries them.
+   Coinbases stay with their dead blocks. *)
+let reinject_disconnected t ~disconnected ~connected =
+  let included =
+    List.fold_left
+      (fun s (b : Block.t) ->
+        List.fold_left (fun s tx -> Hash.Set.add (Tx.txid tx) s) s b.txs)
+      Hash.Set.empty connected
+  in
+  List.fold_left
+    (fun m (b : Block.t) ->
+      List.fold_left
+        (fun m tx ->
+          match tx with
+          | Tx.Coinbase _ -> m
+          | _ -> if Hash.Set.mem (Tx.txid tx) included then m else add m tx)
+        m b.txs)
+    t disconnected
+
 let txs t = List.rev t.order
 let mem t id = Hash.Set.mem id t.ids
 let size t = List.length t.order

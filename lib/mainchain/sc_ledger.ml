@@ -108,6 +108,28 @@ let accept_cert t ~(cert : Withdrawal_certificate.t) ~block_hash ~height
       Error "cert: quality not higher than the accepted certificate"
     | _ -> Ok ()
   in
+  (* Sequential certification: a fresh certificate must be for the
+     earliest uncertified epoch. When submit_len > epoch_len the
+     submission windows overlap, and without this rule epoch e+1 could
+     be certified while epoch e is not — permanently stranding e:
+     [Epoch.ceased_at] keeps tracking last_certified + 1, whose own
+     window has already closed, so the chain neither ceases nor can
+     ever certify the gap. Replacements (same epoch, higher quality)
+     are exempt — they don't change which epochs are certified. *)
+  let* () =
+    let next_due =
+      match last_certified_epoch sc with None -> 0 | Some e -> e + 1
+    in
+    match replaced with
+    | Some _ -> Ok ()
+    | None ->
+      if cert.epoch_id = next_due then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "cert: epoch %d out of order (next uncertified epoch is %d)"
+             cert.epoch_id next_due)
+  in
   (* wcert_sysdata: epoch boundary block hashes from this chain. *)
   let* end_prev_epoch, end_epoch =
     let prev_h = Epoch.last_height schedule ~epoch:(cert.epoch_id - 1) in

@@ -53,10 +53,13 @@ val accept_cert :
   block_hash_at:(int -> Hash.t option) ->
   (t * cert_record option, string) result
 (** Full certificate acceptance: statics, epoch window, quality rule,
-    SNARK verification against the epoch-boundary block hashes
-    (resolved through [block_hash_at]), safeguard. On success returns
-    the state and the certificate record this one *replaces* (same
-    epoch, lower quality), whose payouts the chain must claw back. *)
+    sequential certification (a fresh certificate must be for the
+    earliest uncertified epoch — overlapping submission windows from
+    [submit_len > epoch_len] must never strand an epoch), SNARK
+    verification against the epoch-boundary block hashes (resolved
+    through [block_hash_at]), safeguard. On success returns the state
+    and the certificate record this one *replaces* (same epoch, lower
+    quality), whose payouts the chain must claw back. *)
 
 val check_withdrawal :
   t ->

@@ -12,7 +12,18 @@ val set : (unit -> float) -> unit
 (** Replace the source process-wide (all domains see it). *)
 
 val reset : unit -> unit
-(** Restore [Unix.gettimeofday]. *)
+(** Restore [Unix.gettimeofday] and clear any accumulated {!skew}. *)
+
+val skew : float -> unit
+(** [skew d] shifts the clock forward by [d] seconds from now on, on
+    top of whatever the current source returns (skews accumulate). This
+    is the fault-injection hook [Zen_sim.Faults] uses to model clock
+    drift: every consumer of {!now} — span tracing, the prover pool's
+    per-task accounting — observes the jump, while the source itself
+    (real or {!deterministic}) stays untouched. *)
+
+val skew_total : unit -> float
+(** The accumulated skew in seconds (0. after {!reset}). *)
 
 val deterministic : ?start:float -> ?step:float -> unit -> unit -> float
 (** [deterministic ()] is a fake clock: each call returns

@@ -19,12 +19,15 @@ type t = {
   mutable time : int;
   mutable sidechains : sidechain list;
   log : Zen_obs.Events.t;
+  faults : Faults.t option;
+  mutable pending_certs : (int * Tx.t) list;
+  mutable managed_certs : Hash.t list;
 }
 
 let logf t fmt = Printf.ksprintf (Zen_obs.Events.add t.log) fmt
 let dump_log t = Zen_obs.Events.items t.log
 
-let create ?(pow = Pow.trivial) ~seed () =
+let create ?(pow = Pow.trivial) ?faults ~seed () =
   let params = { Chain_state.default_params with pow } in
   let mc_wallet = Wallet.create ~seed in
   let miner_addr = Wallet.fresh_address mc_wallet in
@@ -36,7 +39,49 @@ let create ?(pow = Pow.trivial) ~seed () =
     time = 0;
     sidechains = [];
     log = Zen_obs.Events.create ();
+    faults;
+    pending_certs = [];
+    managed_certs = [];
   }
+
+(* The reorg path the seed ignored: when a side branch overtakes the
+   tip, the abandoned branch's transactions must return to the mempool
+   or they are silently lost (certificates especially — losing one can
+   cease a healthy sidechain). *)
+let handle_outcome t = function
+  | Chain.Extended_tip | Chain.Side_branch -> ()
+  | Chain.Reorg { old_tip; depth } ->
+    let disconnected, connected = Chain.reorg_diff t.chain ~old_tip in
+    let before = Mempool.size t.mempool in
+    t.mempool <-
+      Mempool.reinject_disconnected t.mempool ~disconnected ~connected;
+    (* Reinjected certificates may be stale (their node already
+       archived the epoch); track them so copies the miner later skips
+       get purged instead of polluting the pool forever. *)
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun tx ->
+            match tx with
+            | Tx.Certificate _ ->
+              let id = Tx.txid tx in
+              if
+                Mempool.mem t.mempool id
+                && not (List.exists (Hash.equal id) t.managed_certs)
+              then t.managed_certs <- id :: t.managed_certs
+            | _ -> ())
+          b.txs)
+      disconnected;
+    let reinjected = Mempool.size t.mempool - before in
+    Zen_obs.Trace.instant ~cat:"sim"
+      ~args:
+        [
+          ("depth", string_of_int depth);
+          ("reinjected", string_of_int reinjected);
+        ]
+      "sim.reorg";
+    logf t "reorg depth %d: %d blocks disconnected, %d txs reinjected" depth
+      (List.length disconnected) reinjected
 
 let mine t =
   t.time <- t.time + 1;
@@ -50,9 +95,26 @@ let mine t =
       logf t "miner skipped %d invalid txs" (List.length skipped);
     (match Chain.add_block t.chain block with
     | Error e -> logf t "block rejected: %s" e
-    | Ok (chain, _) ->
+    | Ok (chain, outcome) ->
       t.chain <- chain;
-      t.mempool <- Mempool.remove_included t.mempool block)
+      t.mempool <- Mempool.remove_included t.mempool block;
+      handle_outcome t outcome;
+      (* Fault-managed certificates the miner skipped are stale
+         (reinjected across an epoch boundary, or duplicate
+         resubmissions): drop them from the pool. *)
+      List.iter
+        (fun tx ->
+          match tx with
+          | Tx.Certificate _ ->
+            let id = Tx.txid tx in
+            if List.exists (Hash.equal id) t.managed_certs then begin
+              t.mempool <- Mempool.remove t.mempool id;
+              t.managed_certs <-
+                List.filter (fun h -> not (Hash.equal h id)) t.managed_certs;
+              logf t "purged stale certificate from mempool"
+            end
+          | _ -> ())
+        skipped)
 
 let mine_n t n =
   for _ = 1 to n do
@@ -110,12 +172,155 @@ let mempool_depth =
   Zen_obs.Gauge.make ~help:"Mainchain mempool depth after the last tick"
     "sim.mempool.depth"
 
+let fault_injections =
+  Zen_obs.Counter.make ~help:"Faults injected by the harness"
+    "sim.faults.injected"
+
+let adversary_addr = Hash.of_string "sim.fault.adversary"
+
+let force_reorg t ~depth =
+  let h = Chain.height t.chain in
+  let d = min depth h in
+  if d < 1 then logf t "reorg skipped (chain too short)"
+  else begin
+    let fork_height = h - d in
+    match Chain_state.block_hash_at (Chain.tip_state t.chain) fork_height with
+    | None -> logf t "reorg skipped (no fork point)"
+    | Some fork_hash ->
+      let params = Chain.params t.chain in
+      (* d + 1 adversarial blocks above the fork point: one more than
+         the honest branch, so cumulative work strictly overtakes and
+         the last add_block returns Reorg. *)
+      let rec build prev height i =
+        if i > d + 1 then Ok ()
+        else begin
+          let txs =
+            [
+              Tx.Coinbase
+                {
+                  height;
+                  reward =
+                    { Tx.addr = adversary_addr; amount = params.subsidy };
+                };
+            ]
+          in
+          match
+            Block.assemble ~prev ~height
+              ~time:((1000 * t.time) + i)
+              ~txs ~pow:params.pow
+          with
+          | Error e -> Error e
+          | Ok b -> (
+            match Chain.add_block t.chain b with
+            | Error e -> Error e
+            | Ok (chain, outcome) ->
+              t.chain <- chain;
+              handle_outcome t outcome;
+              build (Block.hash b) (height + 1) (i + 1))
+        end
+      in
+      (match build fork_hash (fork_height + 1) 1 with
+      | Ok () -> logf t "adversarial branch overtook the tip (depth %d)" d
+      | Error e -> logf t "reorg injection failed: %s" e)
+  end
+
+(* What the fault plan injects at the top of a tick: clock skew, then
+   an adversarial reorg, then delivery of certificate submissions a
+   Delay/Duplicate fault postponed to this tick. *)
+let inject_tick_faults t ~tick_no =
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+    (match Faults.skew_at f ~tick:tick_no with
+    | Some ms when Faults.fire f (Printf.sprintf "skew@%d" tick_no) ->
+      Zen_obs.Counter.incr fault_injections;
+      Zen_obs.Clock.skew (float_of_int ms /. 1000.);
+      logf t "fault: clock skewed +%dms" ms
+    | _ -> ());
+    match Faults.reorg_at f ~tick:tick_no with
+    | Some depth when Faults.fire f (Printf.sprintf "reorg@%d" tick_no) ->
+      Zen_obs.Counter.incr fault_injections;
+      logf t "fault: adversarial reorg depth %d" depth;
+      force_reorg t ~depth
+    | _ -> ());
+  let due, later =
+    List.partition (fun (at, _) -> at <= tick_no) t.pending_certs
+  in
+  t.pending_certs <- later;
+  List.iter
+    (fun (_, tx) ->
+      submit t tx;
+      logf t "fault: postponed certificate submitted")
+    due
+
+let submit_certificate t sc =
+  (* A certificate fault targets the epoch the node would certify
+     next; [build_certificate] archives the epoch as a side effect, so
+     Withhold must short-circuit before the build. *)
+  let cert_fault =
+    match t.faults with
+    | None -> None
+    | Some f ->
+      let epoch = Node.certificate_target sc.node ~mc:t.chain in
+      Option.map (fun cf -> (f, epoch, cf)) (Faults.cert_fault f ~epoch)
+  in
+  match cert_fault with
+  | Some (f, epoch, Faults.Withhold) ->
+    if Faults.fire f (Printf.sprintf "withhold@%d:%s" epoch sc.name) then begin
+      Zen_obs.Counter.incr fault_injections;
+      logf t "fault: %s withholds certificate for epoch %d" sc.name epoch
+    end
+  | _ -> (
+    match Node.build_certificate sc.node ~mc:t.chain with
+    | Error e -> logf t "%s certificate error: %s" sc.name e
+    | Ok None -> ()
+    | Ok (Some cert_tx) -> (
+      (* Every harness-submitted certificate is managed: if the miner
+         ever skips it as invalid (window closed, quality not beaten,
+         already accepted on another branch) it is purged — the node
+         rebuilds and resubmits while the epoch is still certifiable,
+         so nothing lingers in the mempool. *)
+      let manage () =
+        let id = Tx.txid cert_tx in
+        if not (List.exists (Hash.equal id) t.managed_certs) then
+          t.managed_certs <- id :: t.managed_certs
+      in
+      manage ();
+      match cert_fault with
+      | Some (f, epoch, Faults.Drop) ->
+        if Faults.fire f (Printf.sprintf "drop@%d:%s" epoch sc.name) then
+          Zen_obs.Counter.incr fault_injections;
+        logf t "fault: %s certificate for epoch %d dropped" sc.name epoch
+      | Some (f, epoch, Faults.Delay k) ->
+        if Faults.fire f (Printf.sprintf "delay@%d:%s" epoch sc.name) then
+          Zen_obs.Counter.incr fault_injections;
+        manage ();
+        t.pending_certs <- t.pending_certs @ [ (t.time + k, cert_tx) ];
+        logf t "fault: %s certificate for epoch %d delayed %d ticks" sc.name
+          epoch k
+      | Some (f, epoch, Faults.Duplicate n) ->
+        if Faults.fire f (Printf.sprintf "dup@%d:%s" epoch sc.name) then
+          Zen_obs.Counter.incr fault_injections;
+        submit t cert_tx;
+        logf t "%s submitted certificate" sc.name;
+        manage ();
+        for j = 1 to n do
+          t.pending_certs <- t.pending_certs @ [ (t.time + j, cert_tx) ]
+        done;
+        logf t "fault: %s certificate for epoch %d duplicated x%d" sc.name
+          epoch n
+      | Some (_, _, Faults.Withhold) | None ->
+        submit t cert_tx;
+        logf t "%s submitted certificate" sc.name))
+
 let tick t =
   Zen_obs.Counter.incr ticks;
+  let tick_no = t.time + 1 in
   Zen_obs.Trace.with_span ~cat:"sim"
-    ~args:[ ("time", string_of_int (t.time + 1)) ]
+    ~args:[ ("time", string_of_int tick_no) ]
     "sim.tick"
   @@ fun () ->
+  inject_tick_faults t ~tick_no;
   mine t;
   List.iter
     (fun sc ->
@@ -125,14 +330,7 @@ let tick t =
       | Ok (Some b) ->
         logf t "%s forged block %d (%d refs, %d txs)" sc.name b.height
           (List.length b.mc_refs) (List.length b.txs));
-      if not sc.withhold_certs then begin
-        match Node.build_certificate sc.node ~mc:t.chain with
-        | Error e -> logf t "%s certificate error: %s" sc.name e
-        | Ok None -> ()
-        | Ok (Some cert_tx) ->
-          submit t cert_tx;
-          logf t "%s submitted certificate" sc.name
-      end)
+      if not sc.withhold_certs then submit_certificate t sc)
     t.sidechains;
   Zen_obs.Gauge.set_int mempool_depth (List.length (Mempool.txs t.mempool))
 

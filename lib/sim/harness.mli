@@ -31,15 +31,35 @@ type t = {
   log : Zen_obs.Events.t;
       (** human-readable event log, also mirrored into the trace as
           instant events; read it through {!dump_log} (oldest first) *)
+  faults : Faults.t option;  (** the fault plan in execution, if any *)
+  mutable pending_certs : (int * Tx.t) list;
+      (** certificate submissions a Delay/Duplicate fault postponed:
+          [(deliver_at_tick, tx)] *)
+  mutable managed_certs : Hash.t list;
+      (** certificate txids under fault management (reinjected by a
+          reorg or duplicated by a fault); when the miner skips one as
+          invalid it is purged from the mempool instead of lingering *)
 }
 
-val create : ?pow:Pow.params -> seed:string -> unit -> t
+val create : ?pow:Pow.params -> ?faults:Faults.t -> seed:string -> unit -> t
 (** A fresh world at height 0 with an empty mempool; [pow] defaults to
     {!Pow.trivial} so tests spend no time mining. Everything downstream
-    is deterministic in [seed]. *)
+    is deterministic in [seed] (and, with [faults], in the fault plan:
+    the same [(seed, plan)] pair replays to a byte-identical event
+    log). *)
 
 val mine : t -> unit
-(** One MC block from the current mempool. *)
+(** One MC block from the current mempool. On a reorg outcome the
+    mempool is rebuilt from {!Chain.reorg_diff} via
+    {!Mempool.reinject_disconnected}, so abandoned transactions are
+    re-mined instead of silently lost. *)
+
+val force_reorg : t -> depth:int -> unit
+(** Adversarial fork injection: mines [depth + 1] coinbase-only blocks
+    on a side branch forking [depth] blocks below the tip, so the
+    branch overtakes and the harness processes a reorg of that depth
+    (clamped to the chain height). Also available in fault plans as
+    [reorg@tick:dN]. *)
 
 val mine_n : t -> int -> unit
 (** [mine] [n] times. *)
@@ -74,7 +94,12 @@ val forward_transfer :
 
 val tick : t -> unit
 (** Mine one MC block, forge each sidechain once (slot = time), and
-    submit any certificate that is ready (unless withheld). *)
+    submit any certificate that is ready (unless withheld). With a
+    fault plan installed, the tick first injects whatever the plan
+    pins to this round — clock skew, adversarial reorg, postponed
+    certificate deliveries — and certificate submission honours any
+    Drop/Delay/Duplicate/Withhold fault for the epoch being
+    certified. *)
 
 val tick_n : t -> int -> unit
 (** [tick] [n] times. *)

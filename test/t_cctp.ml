@@ -78,6 +78,45 @@ let test_epoch_window () =
   checkb "after window" false
     (Epoch.in_submission_window sched ~epoch:0 ~height:113)
 
+(* submit_len > epoch_len is legal and makes consecutive submission
+   windows overlap — several epochs certifiable at one height. The
+   ledger's sequential-certification rule (t_faults) relies on this
+   geometry. *)
+let test_overlapping_windows () =
+  let s = { Epoch.start_block = 1000; epoch_len = 2; submit_len = 5 } in
+  let lo0, hi0 = Epoch.submission_window s ~epoch:0 in
+  let lo1, hi1 = Epoch.submission_window s ~epoch:1 in
+  checki "w0 lo" 1002 lo0;
+  checki "w0 hi" 1006 hi0;
+  checki "w1 lo" 1004 lo1;
+  checki "w1 hi" 1008 hi1;
+  checkb "windows overlap" true (lo1 <= hi0);
+  checkb "both open at once" true
+    (Epoch.in_submission_window s ~epoch:0 ~height:1005
+    && Epoch.in_submission_window s ~epoch:1 ~height:1005);
+  (* with a certificate due, ceasing still tracks the earliest
+     uncertified epoch's window *)
+  checkb "alive at w0 end" false
+    (Epoch.ceased_at s ~last_certified_epoch:None ~height:1006);
+  checkb "ceased past w0 end" true
+    (Epoch.ceased_at s ~last_certified_epoch:None ~height:1007);
+  checkb "cert for 0 extends to w1" false
+    (Epoch.ceased_at s ~last_certified_epoch:(Some 0) ~height:1008)
+
+(* The window boundary is inclusive: height == window_end is the last
+   chance to land a certificate; ceasing triggers exactly one block
+   later. *)
+let test_window_end_edge () =
+  let _, hi = Epoch.submission_window sched ~epoch:0 in
+  checkb "in window at end" true
+    (Epoch.in_submission_window sched ~epoch:0 ~height:hi);
+  checkb "out one past end" false
+    (Epoch.in_submission_window sched ~epoch:0 ~height:(hi + 1));
+  checkb "alive at end" false
+    (Epoch.ceased_at sched ~last_certified_epoch:None ~height:hi);
+  checkb "ceased at end + 1" true
+    (Epoch.ceased_at sched ~last_certified_epoch:None ~height:(hi + 1))
+
 let test_epoch_ceasing () =
   (* No certs: must cease once epoch 0's window has fully passed. *)
   checkb "alive inside window" false
@@ -234,6 +273,8 @@ let suite =
       Alcotest.test_case "proofdata root" `Quick test_proofdata_root_sensitivity;
       Alcotest.test_case "epoch mapping" `Quick test_epoch_mapping;
       Alcotest.test_case "epoch window" `Quick test_epoch_window;
+      Alcotest.test_case "overlapping windows" `Quick test_overlapping_windows;
+      Alcotest.test_case "window end edge" `Quick test_window_end_edge;
       Alcotest.test_case "epoch ceasing" `Quick test_epoch_ceasing;
       Alcotest.test_case "commitment membership" `Quick test_commitment_membership;
       Alcotest.test_case "commitment absence" `Quick test_commitment_absence;

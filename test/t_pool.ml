@@ -56,7 +56,30 @@ let test_exception_propagates () =
   checkb "worker exception re-raised in caller" true raised;
   (* the pool survives a failed operation *)
   let r = Pool.map_array pool ~chunk:1 (fun x -> x * 2) [| 1; 2; 3; 4 |] in
-  checkb "pool usable after failure" true (r = [| 2; 4; 6; 8 |])
+  checkb "pool usable after failure" true (r = [| 2; 4; 6; 8 |]);
+  (* even Stack_overflow from a body reaches the caller, not a worker
+     wrapper — the wrapper's swallow counter must stay untouched *)
+  let swallowed () =
+    match
+      List.find_opt
+        (fun c -> String.equal (Zen_obs.Counter.name c) "pool.worker.swallowed")
+        (Zen_obs.Counter.all ())
+    with
+    | Some c -> Zen_obs.Counter.value c
+    | None -> 0
+  in
+  let before = swallowed () in
+  let overflow =
+    try
+      Pool.parallel_for pool ~chunk:1 ~n:8 (fun i ->
+          if i = 3 then raise Stack_overflow);
+      false
+    with Stack_overflow -> true
+  in
+  checkb "stack overflow re-raised in caller" true overflow;
+  checki "no exception swallowed by worker wrappers" before (swallowed ());
+  let r = Pool.map_array pool ~chunk:1 (fun x -> x + 1) [| 1; 2 |] in
+  checkb "pool usable after overflow" true (r = [| 2; 3 |])
 
 (* ---- determinism of the parallel builders ---- *)
 

@@ -15,6 +15,7 @@ let () =
       T_baselines.suite;
       T_sim.suite;
       T_adversarial.suite;
+      T_faults.suite;
       T_props.suite;
       T_verifier_extra.suite;
       T_wire.suite;
