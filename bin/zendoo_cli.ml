@@ -45,45 +45,77 @@ let with_obs ~metrics ~trace_out f =
 
 (* ---- simulate ---- *)
 
-let simulate seed ticks epoch_len submit_len fts withhold domains metrics
-    trace_out =
-  with_obs ~metrics ~trace_out @@ fun () ->
-  let pool = Pool.create ~domains:(resolve_domains domains) in
-  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
-  let h = Zen_sim.Harness.create ~seed () in
-  Zen_sim.Harness.fund h ~blocks:5;
-  match
-    Zen_sim.Harness.add_latus h ~name:"sc" ~pool ~epoch_len ~submit_len
-      ~activation_delay:1 ()
-  with
-  | Error e ->
-    Printf.eprintf "error: %s\n" e;
-    1
-  | Ok sc ->
-    sc.withhold_certs <- withhold;
-    let user = Sc_wallet.create ~seed:(seed ^ ".user") in
-    let user_addr = Sc_wallet.fresh_address user in
-    for i = 1 to fts do
+(* Register [n] Latus sidechains sharing one compiled circuit family
+   (the single sidechain keeps its historical name "sc"). *)
+let register_sidechains h ~n ~family ~epoch_len ~submit_len =
+  let name i = if n = 1 then "sc" else Printf.sprintf "sc%d" i in
+  let rec go i acc =
+    if i > n then Ok (List.rev acc)
+    else
       match
-        Zen_sim.Harness.forward_transfer h sc ~receiver:user_addr
-          ~payback:user_addr
-          ~amount:(Amount.of_int_exn (i * 1_000_000))
+        Zen_sim.Harness.add_latus h ~name:(name i) ~family ~epoch_len
+          ~submit_len ~activation_delay:1 ()
       with
-      | Ok () -> ()
-      | Error e -> Zen_sim.Harness.logf h "ft failed: %s" e
-    done;
-    Zen_sim.Harness.tick_n h ticks;
-    List.iter print_endline (Zen_sim.Harness.dump_log h);
-    Printf.printf
-      "\nfinal: MC height %d | SC height %d | balance-on-MC %s | ceased %b | \
-       certified epochs [%s]\n"
-      (Zen_mainchain.Chain.height h.chain)
-      (Node.sc_height sc.node)
-      (Amount.to_string (Zen_sim.Harness.sc_balance_on_mc h sc))
-      (Zen_sim.Harness.is_ceased h sc)
-      (String.concat ";"
-         (List.map string_of_int (Node.certified_epochs sc.node)));
-    0
+      | Error e -> Error e
+      | Ok sc -> go (i + 1) (sc :: acc)
+  in
+  go 1 []
+
+let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
+    no_cache metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun () ->
+  if sidechains < 1 then begin
+    Printf.eprintf "error: --sidechains must be at least 1\n";
+    1
+  end
+  else begin
+    Verifier.Cache.set_enabled (not no_cache);
+    let pool = Pool.create ~domains:(resolve_domains domains) in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let h = Zen_sim.Harness.create ~pool ~seed () in
+    Zen_sim.Harness.fund h ~blocks:5;
+    let family = Circuits.make Params.default in
+    match register_sidechains h ~n:sidechains ~family ~epoch_len ~submit_len with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok scs ->
+      List.iter (fun sc -> sc.Zen_sim.Harness.withhold_certs <- withhold) scs;
+      let first = List.hd scs in
+      let user = Sc_wallet.create ~seed:(seed ^ ".user") in
+      let user_addr = Sc_wallet.fresh_address user in
+      for i = 1 to fts do
+        match
+          Zen_sim.Harness.forward_transfer h first ~receiver:user_addr
+            ~payback:user_addr
+            ~amount:(Amount.of_int_exn (i * 1_000_000))
+        with
+        | Ok () -> ()
+        | Error e -> Zen_sim.Harness.logf h "ft failed: %s" e
+      done;
+      Zen_sim.Harness.tick_n h ticks;
+      List.iter print_endline (Zen_sim.Harness.dump_log h);
+      print_newline ();
+      List.iter
+        (fun sc ->
+          Printf.printf
+            "final %s: MC height %d | SC height %d | balance-on-MC %s | \
+             ceased %b | certified epochs [%s]\n"
+            sc.Zen_sim.Harness.name
+            (Zen_mainchain.Chain.height h.chain)
+            (Node.sc_height sc.Zen_sim.Harness.node)
+            (Amount.to_string (Zen_sim.Harness.sc_balance_on_mc h sc))
+            (Zen_sim.Harness.is_ceased h sc)
+            (String.concat ";"
+               (List.map string_of_int
+                  (Node.certified_epochs sc.Zen_sim.Harness.node))))
+        scs;
+      let st = Verifier.Cache.stats () in
+      Printf.printf "verify cache: %d hits | %d misses | enabled %b\n"
+        st.Verifier.Cache.hits st.Verifier.Cache.misses
+        (Verifier.Cache.enabled ());
+      0
+  end
 
 (* ---- schedule ---- *)
 
@@ -211,19 +243,24 @@ let prove steps domains workers mst_depth seed metrics trace_out =
 (* Everything printed here (and written to --log-out) is a pure
    function of (seed, plan): no wall-clock values, no machine state.
    CI runs the command twice and byte-compares the logs. *)
-let chaos seed ticks epoch_len submit_len fts intensity plan_str log_out
-    metrics trace_out =
+let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
+    plan_str log_out metrics trace_out =
   with_obs ~metrics ~trace_out @@ fun () ->
+  if sidechains < 1 then begin
+    Printf.eprintf "error: --sidechains must be at least 1\n";
+    1
+  end
+  else
   let plan_result =
     match plan_str with
     | Some s -> Zen_sim.Faults.plan_of_string s
     | None ->
-      (* Setup consumes 5 funding rounds, the creation round and one
-         round per FT before tick_n starts; aim the storm's tick
-         faults at the live window. *)
+      (* Setup consumes 5 funding rounds, one creation round per
+         sidechain and one round per FT before tick_n starts; aim the
+         storm's tick faults at the live window. *)
       Ok
         (Zen_sim.Faults.storm ~seed
-           ~first_tick:(7 + fts)
+           ~first_tick:(6 + sidechains + fts)
            ~ticks
            ~epochs:(max 1 (ticks / epoch_len))
            ~workers:4 ~intensity ())
@@ -234,19 +271,20 @@ let chaos seed ticks epoch_len submit_len fts intensity plan_str log_out
     1
   | Ok plan -> (
     let faults = Zen_sim.Faults.create ~seed plan in
+    let pool = Pool.create ~domains:(resolve_domains domains) in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
     let h =
-      Zen_sim.Harness.create ~faults ~seed:(Printf.sprintf "chaos.%d" seed) ()
+      Zen_sim.Harness.create ~pool ~faults
+        ~seed:(Printf.sprintf "chaos.%d" seed) ()
     in
     Zen_sim.Harness.fund h ~blocks:5;
     let family = Circuits.make Params.default in
-    match
-      Zen_sim.Harness.add_latus h ~name:"sc" ~family ~epoch_len ~submit_len
-        ~activation_delay:1 ()
-    with
+    match register_sidechains h ~n:sidechains ~family ~epoch_len ~submit_len with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
-    | Ok sc ->
+    | Ok scs ->
+      let sc = List.hd scs in
       let user = Sc_wallet.create ~seed:(Printf.sprintf "chaos.%d.user" seed) in
       let user_addr = Sc_wallet.fresh_address user in
       for i = 1 to fts do
@@ -302,11 +340,20 @@ let chaos seed ticks epoch_len submit_len fts intensity plan_str log_out
           (stats.Prover_pool.retries, digest faulted = digest clean)
         | Error _, _ | _, Error _ -> (-1, false)
       in
+      (* Certified epochs summed over every sidechain; "ceased" is true
+         when any sidechain ceased (for one sidechain both reduce to
+         the historical single-chain meaning). *)
       let certified =
         let state = Zen_mainchain.Chain.tip_state h.chain in
-        match Zen_mainchain.Sc_ledger.find state.scs sc.ledger_id with
-        | None -> 0
-        | Some s -> List.length s.Zen_mainchain.Sc_ledger.certs
+        List.fold_left
+          (fun acc (sc : Zen_sim.Harness.sidechain) ->
+            match Zen_mainchain.Sc_ledger.find state.scs sc.ledger_id with
+            | None -> acc
+            | Some s -> acc + List.length s.Zen_mainchain.Sc_ledger.certs)
+          0 scs
+      in
+      let any_ceased =
+        List.exists (fun sc -> Zen_sim.Harness.is_ceased h sc) scs
       in
       let buf = Buffer.create 4096 in
       let outf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -317,8 +364,7 @@ let chaos seed ticks epoch_len submit_len fts intensity plan_str log_out
         "chaos: %d faults injected | %d epochs certified | ceased %b | MC \
          height %d | prover retries %d | proof identical %b\n"
         (Zen_sim.Faults.injected faults)
-        certified
-        (Zen_sim.Harness.is_ceased h sc)
+        certified any_ceased
         (Zen_mainchain.Chain.height h.chain)
         retries identical;
       print_string (Buffer.contents buf);
@@ -343,6 +389,24 @@ let domains_t =
           "Worker domains for proving (1 = sequential, 0 = use \
            Domain.recommended_domain_count). Results are bit-identical \
            for every value.")
+
+let sidechains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "sidechains" ]
+        ~doc:
+          "Number of Latus sidechains to register (all sharing one \
+           compiled circuit family). Every tick forges and certifies \
+           each of them against the same mainchain.")
+
+let no_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-verify-cache" ]
+        ~doc:
+          "Disable the mainchain verification cache (every duplicate \
+           submission, mempool re-check and reorg replay re-runs SNARK \
+           verification). Decisions are identical either way.")
 
 let metrics_t =
   Arg.(
@@ -379,7 +443,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
-      $ domains_t $ metrics_t $ trace_out_t)
+      $ sidechains_t $ domains_t $ no_cache_t $ metrics_t $ trace_out_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -477,8 +541,8 @@ let chaos_cmd =
          "Run the world under a deterministic fault plan and print a \
           replayable log")
     Term.(
-      const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ intensity
-      $ plan $ log_out $ metrics_t $ trace_out_t)
+      const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ sidechains_t
+      $ domains_t $ intensity $ plan $ log_out $ metrics_t $ trace_out_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in

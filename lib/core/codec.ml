@@ -61,7 +61,10 @@ let read_proofdata_elem r =
   | n -> Error (Printf.sprintf "codec: unknown proofdata tag %d" n)
 
 let write_proofdata w pd = Wire.list w (write_proofdata_elem w) pd
-let read_proofdata r = Wire.read_list ~max:256 r read_proofdata_elem
+
+let read_proofdata r =
+  (* Smallest element: a Blob with tag byte + empty varbytes = 5. *)
+  Wire.read_list ~max:256 ~min_elem_size:5 r read_proofdata_elem
 
 let write_proof w proof = Wire.varbytes w (Backend.proof_encode proof)
 
@@ -91,7 +94,11 @@ let read_wcert r =
   let* ledger_id = Wire.read_hash r in
   let* epoch_id = Wire.read_u63 r in
   let* quality = Wire.read_u63 r in
-  let* bt_list = Wire.read_list ~max:65536 r read_bt in
+  (* A backward transfer is at least 40 bytes (hash + amount); reject
+     counts that cannot fit before looping. *)
+  let* bt_list =
+    Wire.read_list ~max:65536 ~min_elem_size:(Hash.size + 8) r read_bt
+  in
   let* proofdata = read_proofdata r in
   let* proof = read_proof r in
   Ok

@@ -160,7 +160,9 @@ let write_merkle_proof w p =
 
 let read_merkle_proof r =
   let* index = Wire.read_u32 r in
-  let* siblings = Wire.read_list ~max:64 r Wire.read_hash in
+  let* siblings =
+    Wire.read_list ~max:64 ~min_elem_size:Hash.size r Wire.read_hash
+  in
   Ok (Merkle.proof_of_siblings ~index siblings)
 
 let write_membership = write_merkle_proof

@@ -3,17 +3,208 @@ open Zen_snark
 
 let public_input_arity = 5
 
+(* ---------------------------------------------------------------- *)
+(* Verification cache                                               *)
+(* ---------------------------------------------------------------- *)
+
+let obs_hit =
+  Zen_obs.Counter.make ~help:"MC verification-cache hits" "mc.verify.cache.hit"
+
+let obs_miss =
+  Zen_obs.Counter.make ~help:"MC verification-cache misses"
+    "mc.verify.cache.miss"
+
+let obs_evict =
+  Zen_obs.Counter.make ~help:"MC verification-cache evictions"
+    "mc.verify.cache.eviction"
+
+module Cache = struct
+  type stats = { hits : int; misses : int; insertions : int; evictions : int }
+
+  let mu = Mutex.create ()
+  let enabled_flag = ref true
+  let cap = ref 4096
+  let table : (Hash.t, bool) Hashtbl.t = Hashtbl.create 1024
+  let fifo : Hash.t Queue.t = Queue.create ()
+  let hits = ref 0
+  let misses = ref 0
+  let insertions = ref 0
+  let evictions = ref 0
+
+  let locked f =
+    Mutex.lock mu;
+    match f () with
+    | v ->
+      Mutex.unlock mu;
+      v
+    | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+  let enabled () = !enabled_flag
+  let set_enabled b = locked (fun () -> enabled_flag := b)
+  let capacity () = !cap
+  let size () = locked (fun () -> Hashtbl.length table)
+
+  let stats () =
+    locked (fun () ->
+        {
+          hits = !hits;
+          misses = !misses;
+          insertions = !insertions;
+          evictions = !evictions;
+        })
+
+  let clear () =
+    locked (fun () ->
+        Hashtbl.reset table;
+        Queue.clear fifo;
+        hits := 0;
+        misses := 0;
+        insertions := 0;
+        evictions := 0)
+
+  (* FIFO eviction: within a block-validation burst every key is fresh,
+     so recency tracking would buy nothing over insertion order. *)
+  let evict_over_capacity () =
+    let evicted = ref 0 in
+    while Queue.length fifo > !cap do
+      let victim = Queue.pop fifo in
+      Hashtbl.remove table victim;
+      incr evictions;
+      incr evicted
+    done;
+    !evicted
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Verifier.Cache.set_capacity: capacity < 1";
+    let evicted =
+      locked (fun () ->
+          cap := n;
+          evict_over_capacity ())
+    in
+    Zen_obs.Counter.add obs_evict evicted
+
+  let find key =
+    if not !enabled_flag then None
+    else begin
+      let r =
+        locked (fun () ->
+            match Hashtbl.find_opt table key with
+            | Some _ as r ->
+              incr hits;
+              r
+            | None ->
+              incr misses;
+              None)
+      in
+      (match r with
+      | Some _ -> Zen_obs.Counter.incr obs_hit
+      | None -> Zen_obs.Counter.incr obs_miss);
+      r
+    end
+
+  let store key value =
+    if !enabled_flag then begin
+      let evicted =
+        locked (fun () ->
+            if Hashtbl.mem table key then 0
+            else begin
+              Hashtbl.replace table key value;
+              Queue.push key fifo;
+              incr insertions;
+              evict_over_capacity ()
+            end)
+      in
+      Zen_obs.Counter.add obs_evict evicted
+    end
+end
+
+(* ---------------------------------------------------------------- *)
+(* Verification jobs                                                *)
+(* ---------------------------------------------------------------- *)
+
+type job = { key : Hash.t; verify : unit -> bool }
+
+let job_key j = j.key
+
+(* Key soundness: [Backend.verify vk ~public proof] is a pure function
+   of the vk digest (which fixes the simulated verify function), the
+   public-input vector, and the proof bytes. [Withdrawal_certificate.hash]
+   binds every certificate field the public input is derived from
+   (quality, BTList root, proofdata encoding) but not the proof, so the
+   proof bytes and the chain-supplied boundary hashes enter the key
+   explicitly. Deliberately cheap: the expensive part of verification
+   is MH(proofdata), which the key never computes. *)
+let wcert_job ~vk ~(cert : Withdrawal_certificate.t) ~end_prev_epoch ~end_epoch
+    =
+  {
+    key =
+      Hash.tagged "mc.verify.cache.wcert"
+        [
+          Hash.to_raw (Backend.vk_digest vk);
+          Hash.to_raw (Withdrawal_certificate.hash cert);
+          Backend.proof_encode cert.proof;
+          Hash.to_raw end_prev_epoch;
+          Hash.to_raw end_epoch;
+        ];
+    verify =
+      (fun () ->
+        let public =
+          Withdrawal_certificate.public_input cert ~end_prev_epoch ~end_epoch
+        in
+        Backend.verify vk ~public cert.proof);
+  }
+
+let withdrawal_job ~vk ~(request : Mainchain_withdrawal.t) ~reference_block =
+  {
+    key =
+      Hash.tagged "mc.verify.cache.withdrawal"
+        [
+          Hash.to_raw (Backend.vk_digest vk);
+          Hash.to_raw (Mainchain_withdrawal.hash request);
+          Backend.proof_encode request.proof;
+          Hash.to_raw reference_block;
+        ];
+    verify =
+      (fun () ->
+        let public =
+          Mainchain_withdrawal.public_input request ~reference_block
+        in
+        Backend.verify vk ~public request.proof);
+  }
+
+let run_job j =
+  match Cache.find j.key with
+  | Some v -> v
+  | None ->
+    let v = j.verify () in
+    Cache.store j.key v;
+    v
+
+let verify_batch ?(pool = Pool.sequential) jobs =
+  let arr = Array.of_list jobs in
+  let cached = Array.map (fun j -> Cache.find j.key) arr in
+  let misses = ref [] in
+  Array.iteri
+    (fun i c -> if Option.is_none c then misses := i :: !misses)
+    cached;
+  let miss_idx = Array.of_list (List.rev !misses) in
+  let verified = Pool.map_array pool (fun i -> arr.(i).verify ()) miss_idx in
+  Array.iteri
+    (fun k i ->
+      cached.(i) <- Some verified.(k);
+      Cache.store arr.(i).key verified.(k))
+    miss_idx;
+  Array.to_list (Array.map Option.get cached)
+
 let verify_wcert ~vk ~(cert : Withdrawal_certificate.t) ~end_prev_epoch
     ~end_epoch =
-  let public =
-    Withdrawal_certificate.public_input cert ~end_prev_epoch ~end_epoch
-  in
-  Backend.verify vk ~public cert.proof
+  run_job (wcert_job ~vk ~cert ~end_prev_epoch ~end_epoch)
 
 let verify_withdrawal ~vk ~(request : Mainchain_withdrawal.t) ~reference_block
     =
-  let public = Mainchain_withdrawal.public_input request ~reference_block in
-  Backend.verify vk ~public request.proof
+  run_job (withdrawal_job ~vk ~request ~reference_block)
 
 let check_wcert_statics ~(config : Sidechain_config.t)
     ~(cert : Withdrawal_certificate.t) =

@@ -70,8 +70,20 @@ let read_le r n =
 let read_u32 r = read_le r 4
 
 let read_u63 r =
-  let* v = read_le r 8 in
-  if v < 0 then Error "wire: u63 overflow" else Ok v
+  let* s = take r 8 in
+  (* An OCaml int holds 63 bits including the sign, so the writer never
+     emits a top byte above 0x3f. The shift-accumulate below would
+     silently drop bit 63 (0x80 lsl 56 wraps to zero), letting two
+     different byte strings decode to the same value — reject the whole
+     out-of-range top-byte band up front instead. *)
+  if Char.code s.[7] > 0x3f then Error "wire: u63 overflow"
+  else begin
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code s.[i]
+    done;
+    Ok !v
+  end
 
 let read_bool r =
   let* b = read_u8 r in
@@ -84,7 +96,10 @@ let read_fixed r n = take r n
 
 let read_varbytes ?(max = 1 lsl 24) r =
   let* n = read_u32 r in
-  if n > max then Error "wire: varbytes too long" else take r n
+  if n > max then Error "wire: varbytes too long"
+  else if n > remaining r then
+    Error "wire: varbytes length exceeds remaining input"
+  else take r n
 
 let read_hash r =
   let* s = take r Hash.size in
@@ -95,9 +110,14 @@ let read_fp r =
   if v >= Fp.p then Error "wire: field element out of range"
   else Ok (Fp.of_int v)
 
-let read_list ?(max = 1 lsl 20) r f =
+let read_list ?(max = 1 lsl 20) ?(min_elem_size = 1) r f =
   let* n = read_u32 r in
   if n > max then Error "wire: list too long"
+    (* A count whose minimum encoding cannot fit in the remaining bytes
+       is rejected before the loop: a 5-byte message claiming 2^20
+       elements must not allocate or iterate on the attacker's say-so. *)
+  else if min_elem_size > 0 && n > remaining r / min_elem_size then
+    Error "wire: list count exceeds remaining input"
   else begin
     let rec go i acc =
       if i = n then Ok (List.rev acc)

@@ -50,11 +50,24 @@ val read_u63 : reader -> (int, string) result
 val read_bool : reader -> (bool, string) result
 val read_fixed : reader -> int -> (string, string) result
 val read_varbytes : ?max:int -> reader -> (string, string) result
+(** Rejects a claimed length above [max] (default 2^24) or above the
+    bytes actually remaining — before allocating anything. *)
+
 val read_hash : reader -> (Hash.t, string) result
 val read_fp : reader -> (Fp.t, string) result
 
 val read_list :
-  ?max:int -> reader -> (reader -> ('a, string) result) -> ('a list, string) result
+  ?max:int ->
+  ?min_elem_size:int ->
+  reader ->
+  (reader -> ('a, string) result) ->
+  ('a list, string) result
+(** Rejects a claimed count above [max] (default 2^20), or one whose
+    minimum encoded size — [count * min_elem_size] bytes (default 1
+    byte per element) — exceeds the remaining input, so a tiny crafted
+    message cannot drive the element loop on a huge count. Pass a
+    larger [min_elem_size] when every element has a known fixed floor;
+    [0] disables the bound (only for elements that can be empty). *)
 
 val read_option :
   reader -> (reader -> ('a, string) result) -> ('a option, string) result

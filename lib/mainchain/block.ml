@@ -25,10 +25,10 @@ let header_hash h =
 
 let hash b = header_hash b.header
 
-let tx_root txs = Merkle.root (Merkle.of_leaves (List.map Tx.txid txs))
+let tx_root ?pool txs = Merkle.root (Merkle.of_leaves ?pool (List.map Tx.txid txs))
 
 (* Group all sidechain actions in the block by ledger id. *)
-let sc_commitment_of_txs txs =
+let sc_commitment_of_txs ?pool txs =
   let module M = Hash.Map in
   let empty_entry ledger_id =
     Sc_commitment.{ ledger_id; fts = []; btrs = []; wcert = None }
@@ -71,13 +71,13 @@ let sc_commitment_of_txs txs =
   in
   match result with
   | Error e -> Error e
-  | Ok m -> Sc_commitment.build (List.map snd (M.bindings m))
+  | Ok m -> Sc_commitment.build ?pool (List.map snd (M.bindings m))
 
-let assemble ~prev ~height ~time ~txs ~pow =
-  match sc_commitment_of_txs txs with
+let assemble ?pool ~prev ~height ~time ~txs ~pow () =
+  match sc_commitment_of_txs ?pool txs with
   | Error e -> Error e
   | Ok commitment ->
-    let tx_root = tx_root txs in
+    let tx_root = tx_root ?pool txs in
     let sc_txs_commitment = Sc_commitment.root commitment in
     let hash_of_nonce ~nonce =
       header_hash { prev; height; time; nonce; tx_root; sc_txs_commitment }
@@ -107,17 +107,17 @@ let genesis ~time =
     txs;
   }
 
-let validate_structure ~pow b =
+let validate_structure ?pool ~pow b =
   let ( let* ) = Result.bind in
   let* () =
     if b.header.height = 0 || Pow.meets_target pow (hash b) then Ok ()
     else Error "block: proof of work does not meet target"
   in
   let* () =
-    if Hash.equal b.header.tx_root (tx_root b.txs) then Ok ()
+    if Hash.equal b.header.tx_root (tx_root ?pool b.txs) then Ok ()
     else Error "block: transaction root mismatch"
   in
-  let* commitment = sc_commitment_of_txs b.txs in
+  let* commitment = sc_commitment_of_txs ?pool b.txs in
   let* () =
     if Hash.equal b.header.sc_txs_commitment (Sc_commitment.root commitment)
     then Ok ()

@@ -18,26 +18,31 @@ type t = { header : header; txs : Tx.t list }
 val header_hash : header -> Hash.t
 val hash : t -> Hash.t
 
-val tx_root : Tx.t list -> Hash.t
+val tx_root : ?pool:Pool.t -> Tx.t list -> Hash.t
 
-val sc_commitment_of_txs : Tx.t list -> (Sc_commitment.t, string) result
+val sc_commitment_of_txs :
+  ?pool:Pool.t -> Tx.t list -> (Sc_commitment.t, string) result
 (** Groups the block's sidechain actions (FT outputs, BTRs, at most one
     certificate per sidechain; CSWs excluded per §4.1.3) into the
-    commitment structure. *)
+    commitment structure. [pool] parallelises the entry hashes and the
+    commitment tree build (bit-identical for every domain count). *)
 
 val assemble :
+  ?pool:Pool.t ->
   prev:Hash.t ->
   height:int ->
   time:int ->
   txs:Tx.t list ->
   pow:Pow.params ->
+  unit ->
   (t, string) result
 (** Computes roots, mines the nonce, returns the sealed block. *)
 
 val genesis : time:int -> t
 (** The fixed genesis block (empty, zero parent). *)
 
-val validate_structure : pow:Pow.params -> t -> (unit, string) result
+val validate_structure :
+  ?pool:Pool.t -> pow:Pow.params -> t -> (unit, string) result
 (** Context-free checks: PoW, tx root, commitment root, exactly one
     leading coinbase, at most one certificate per sidechain. *)
 

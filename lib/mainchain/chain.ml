@@ -53,14 +53,14 @@ let reorg_depth t ~old_tip ~new_tip =
   in
   count old_tip 0
 
-let add_block t (b : Block.t) =
+let add_block ?pool t (b : Block.t) =
   let h = Block.hash b in
   if Hash.Map.mem h t.nodes then Error "chain: duplicate block"
   else begin
     match Hash.Map.find_opt b.header.prev t.nodes with
     | None -> Error "chain: unknown parent"
     | Some parent -> (
-      match Chain_state.apply_block parent.state b with
+      match Chain_state.apply_block ?pool parent.state b with
       | Error e -> Error e
       | Ok state ->
         let work = parent.work + Pow.work_of t.params.pow in

@@ -29,10 +29,13 @@ val height : t -> int
 val block : t -> Hash.t -> Block.t option
 val state_of : t -> Hash.t -> Chain_state.t option
 
-val add_block : t -> Block.t -> (t * outcome, string) result
+val add_block : ?pool:Pool.t -> t -> Block.t -> (t * outcome, string) result
 (** Validates against the parent's state and inserts. Duplicate blocks
     are rejected; unknown parents are an error (no orphan pool — the
-    simulation delivers blocks in order per peer). *)
+    simulation delivers blocks in order per peer). [pool] is handed to
+    {!Chain_state.apply_block} for batch proof verification and the
+    commitment rebuild; outcomes are identical for every domain
+    count. *)
 
 val best_chain : t -> Block.t list
 (** Genesis → tip. *)

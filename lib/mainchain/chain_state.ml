@@ -192,8 +192,33 @@ let apply_tx t ~height ~block_hash tx =
       in
       Ok ({ t with utxos; scs }, Amount.zero))
 
-let apply_block t (b : Block.t) =
-  let* () = Block.validate_structure ~pow:t.params.pow b in
+(* Every SNARK verification this state would run if the given
+   transactions were applied now, as cacheable jobs. Predictions use
+   the pre-application state; a transaction that changes an input of a
+   later one's verification (e.g. a certificate moving the reference
+   block of a CSW in the same block) merely turns that prediction into
+   an unused cache entry — the apply path computes its own key. *)
+let proof_jobs t txs =
+  List.filter_map
+    (fun tx ->
+      match tx with
+      | Tx.Certificate cert ->
+        Sc_ledger.wcert_verify_job t.scs ~cert
+          ~block_hash_at:(block_hash_at t)
+      | Tx.Withdrawal_request w ->
+        Sc_ledger.withdrawal_verify_job t.scs ~request:w
+      | Tx.Coinbase _ | Tx.Transfer _ | Tx.Sc_create _ -> None)
+    txs
+
+let prewarm_verifier ?pool t txs =
+  if Verifier.Cache.enabled () then begin
+    match proof_jobs t txs with
+    | [] -> ()
+    | jobs -> ignore (Verifier.verify_batch ?pool jobs : bool list)
+  end
+
+let apply_block ?pool t (b : Block.t) =
+  let* () = Block.validate_structure ?pool ~pow:t.params.pow b in
   let* () =
     if Hash.equal b.header.prev t.tip_hash then Ok ()
     else Error "block: parent is not the current tip"
@@ -211,6 +236,9 @@ let apply_block t (b : Block.t) =
     | [] -> Error "block: empty (coinbase required)"
     | _ -> Error "block: first transaction must be the coinbase"
   in
+  (* Batch-verify the block's proofs up front (fanned out on [pool]);
+     the sequential application below then decides through the cache. *)
+  prewarm_verifier ?pool t rest;
   let* state, fees =
     List.fold_left
       (fun acc tx ->

@@ -38,9 +38,24 @@ val apply_tx :
     state and the transaction fee. Used by block validation and by the
     miner's template construction. *)
 
-val apply_block : t -> Block.t -> (t, string) result
+val apply_block : ?pool:Pool.t -> t -> Block.t -> (t, string) result
 (** Full block validation: structure, linkage, every transaction, and
-    the coinbase reward bound (subsidy + fees). *)
+    the coinbase reward bound (subsidy + fees). [pool] parallelises the
+    commitment rebuild and the up-front batch verification of the
+    block's certificate/withdrawal proofs ({!prewarm_verifier});
+    per-transaction decisions are unchanged for every domain count. *)
+
+val proof_jobs : t -> Tx.t list -> Verifier.job list
+(** The SNARK verifications applying [txs] to this state would run,
+    predicted from the current state (order preserved; transactions
+    with nothing to verify, or whose sidechain/boundary cannot be
+    resolved, contribute nothing). *)
+
+val prewarm_verifier : ?pool:Pool.t -> t -> Tx.t list -> unit
+(** [Verifier.verify_batch] over {!proof_jobs}, populating the
+    verification cache so a subsequent sequential application never
+    re-verifies. A no-op when the cache is disabled (results would be
+    thrown away). *)
 
 val spendable : t -> Tx.outpoint -> at_height:int -> Utxo_set.coin option
 (** The coin if it exists and has matured for inclusion at

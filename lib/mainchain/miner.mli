@@ -9,13 +9,17 @@ open Zen_crypto
 open Zendoo
 
 val build_block :
+  ?pool:Pool.t ->
   Chain.t ->
   time:int ->
   miner_addr:Hash.t ->
   candidates:Tx.t list ->
   (Block.t * Tx.t list, string) result
 (** Returns the sealed block and the candidate transactions that were
-    skipped (each invalid against the evolving trial state). *)
+    skipped (each invalid against the evolving trial state). [pool]
+    batch-verifies the candidates' proofs up front
+    ({!Chain_state.prewarm_verifier}) and parallelises the commitment
+    build; selection is identical for every domain count. *)
 
 val mine_empty :
   Chain.t -> time:int -> miner_addr:Hash.t -> (Block.t, string) result

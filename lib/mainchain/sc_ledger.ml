@@ -80,6 +80,46 @@ let credit_ft t (ft : Forward_transfer.t) ~height =
 let reference_block_for sc =
   match last_cert sc with None -> Hash.zero | Some c -> c.included_in
 
+(* wcert_sysdata epoch-boundary block hashes, resolved on the chain the
+   caller queries through [block_hash_at]. Shared by acceptance and by
+   the prediction jobs below so both build identical cache keys. *)
+let epoch_boundaries sc ~(cert : Withdrawal_certificate.t) ~block_hash_at =
+  let schedule = Epoch.of_config sc.config in
+  let prev_h = Epoch.last_height schedule ~epoch:(cert.epoch_id - 1) in
+  let cur_h = Epoch.last_height schedule ~epoch:cert.epoch_id in
+  let resolve h =
+    if h < 0 then Some Hash.zero (* before epoch 0: genesis sentinel *)
+    else block_hash_at h
+  in
+  match (resolve prev_h, resolve cur_h) with
+  | Some a, Some b -> Some (a, b)
+  | _ -> None
+
+let wcert_verify_job t ~(cert : Withdrawal_certificate.t) ~block_hash_at =
+  match find t cert.ledger_id with
+  | None -> None
+  | Some sc ->
+    Option.map
+      (fun (end_prev_epoch, end_epoch) ->
+        Verifier.wcert_job ~vk:sc.config.wcert_vk ~cert ~end_prev_epoch
+          ~end_epoch)
+      (epoch_boundaries sc ~cert ~block_hash_at)
+
+let withdrawal_verify_job t ~(request : Mainchain_withdrawal.t) =
+  match find t request.ledger_id with
+  | None -> None
+  | Some sc ->
+    let vk =
+      match request.kind with
+      | Mainchain_withdrawal.Btr -> sc.config.btr_vk
+      | Mainchain_withdrawal.Csw -> sc.config.csw_vk
+    in
+    Option.map
+      (fun vk ->
+        Verifier.withdrawal_job ~vk ~request
+          ~reference_block:(reference_block_for sc))
+      vk
+
 let accept_cert t ~(cert : Withdrawal_certificate.t) ~block_hash ~height
     ~block_hash_at =
   let ( let* ) = Result.bind in
@@ -132,15 +172,9 @@ let accept_cert t ~(cert : Withdrawal_certificate.t) ~block_hash ~height
   in
   (* wcert_sysdata: epoch boundary block hashes from this chain. *)
   let* end_prev_epoch, end_epoch =
-    let prev_h = Epoch.last_height schedule ~epoch:(cert.epoch_id - 1) in
-    let cur_h = Epoch.last_height schedule ~epoch:cert.epoch_id in
-    let resolve h =
-      if h < 0 then Some Hash.zero (* before epoch 0: genesis sentinel *)
-      else block_hash_at h
-    in
-    match (resolve prev_h, resolve cur_h) with
-    | Some a, Some b -> Ok (a, b)
-    | _ -> Error "cert: epoch boundary block not on this chain"
+    match epoch_boundaries sc ~cert ~block_hash_at with
+    | Some pair -> Ok pair
+    | None -> Error "cert: epoch boundary block not on this chain"
   in
   let* () =
     if

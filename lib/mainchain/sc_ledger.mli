@@ -79,4 +79,22 @@ val reference_block_for : sc_state -> Hash.t
 (** [H(B_w)] of §4.1.2.1: the block that carried the latest accepted
     certificate, or {!Hash.zero} when none exists yet. *)
 
+val wcert_verify_job :
+  t ->
+  cert:Withdrawal_certificate.t ->
+  block_hash_at:(int -> Hash.t option) ->
+  Verifier.job option
+(** The exact SNARK verification {!accept_cert} will run for this
+    certificate against the current state — used to prewarm the
+    {!Verifier.Cache} in a batch before transactions are applied one by
+    one. [None] when the sidechain is unknown or an epoch boundary is
+    unresolvable (acceptance would fail before verifying anyway). *)
+
+val withdrawal_verify_job :
+  t -> request:Mainchain_withdrawal.t -> Verifier.job option
+(** Same prediction for {!check_withdrawal}'s BTR/CSW proof. The
+    reference block is read from the current state; if an earlier
+    transaction of the same block changes it, the prediction is merely
+    a wasted cache entry — acceptance recomputes its own key. *)
+
 val balance : t -> Hash.t -> Amount.t option

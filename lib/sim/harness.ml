@@ -16,18 +16,21 @@ type t = {
   mutable mempool : Mempool.t;
   mc_wallet : Wallet.t;
   miner_addr : Hash.t;
+  pool : Pool.t;
   mutable time : int;
-  mutable sidechains : sidechain list;
+  mutable sidechains_rev : sidechain list;
+  mutable next_sc_nonce : int;
   log : Zen_obs.Events.t;
   faults : Faults.t option;
   mutable pending_certs : (int * Tx.t) list;
   mutable managed_certs : Hash.t list;
 }
 
+let sidechains t = List.rev t.sidechains_rev
 let logf t fmt = Printf.ksprintf (Zen_obs.Events.add t.log) fmt
 let dump_log t = Zen_obs.Events.items t.log
 
-let create ?(pow = Pow.trivial) ?faults ~seed () =
+let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?faults ~seed () =
   let params = { Chain_state.default_params with pow } in
   let mc_wallet = Wallet.create ~seed in
   let miner_addr = Wallet.fresh_address mc_wallet in
@@ -36,8 +39,10 @@ let create ?(pow = Pow.trivial) ?faults ~seed () =
     mempool = Mempool.empty;
     mc_wallet;
     miner_addr;
+    pool;
     time = 0;
-    sidechains = [];
+    sidechains_rev = [];
+    next_sc_nonce = 1;
     log = Zen_obs.Events.create ();
     faults;
     pending_certs = [];
@@ -86,14 +91,14 @@ let handle_outcome t = function
 let mine t =
   t.time <- t.time + 1;
   match
-    Miner.build_block t.chain ~time:t.time ~miner_addr:t.miner_addr
-      ~candidates:(Mempool.txs t.mempool)
+    Miner.build_block ~pool:t.pool t.chain ~time:t.time
+      ~miner_addr:t.miner_addr ~candidates:(Mempool.txs t.mempool)
   with
   | Error e -> logf t "mine failed: %s" e
   | Ok (block, skipped) ->
     if skipped <> [] then
       logf t "miner skipped %d invalid txs" (List.length skipped);
-    (match Chain.add_block t.chain block with
+    (match Chain.add_block ~pool:t.pool t.chain block with
     | Error e -> logf t "block rejected: %s" e
     | Ok (chain, outcome) ->
       t.chain <- chain;
@@ -127,9 +132,13 @@ let fund t ~blocks = mine_n t blocks
 let add_latus t ~name ?(params = Params.default) ?family ?pool ~epoch_len
     ~submit_len ~activation_delay () =
   let family = match family with Some f -> f | None -> Circuits.make params in
+  (* A monotonic counter, never the list length: removal or ceasing of
+     a sidechain must not make a future registration reuse a nonce
+     (and thereby collide on the derived ledger id). *)
+  let nonce = t.next_sc_nonce in
+  t.next_sc_nonce <- t.next_sc_nonce + 1;
   let ledger_id =
-    Sidechain_config.derive_ledger_id ~creator:t.miner_addr
-      ~nonce:(List.length t.sidechains + 1)
+    Sidechain_config.derive_ledger_id ~creator:t.miner_addr ~nonce
   in
   (* The creation transaction lands in the next block; activation must
      be strictly after it. *)
@@ -141,13 +150,16 @@ let add_latus t ~name ?(params = Params.default) ?family ?pool ~epoch_len
   | Ok config -> (
     let forger = Sc_wallet.create ~seed:("forger." ^ name) in
     let (_ : Hash.t) = Sc_wallet.fresh_address forger in
-    match Node.create ~config ~params ~family ~forger ?pool () with
+    let node_pool = match pool with Some p -> p | None -> t.pool in
+    match Node.create ~config ~params ~family ~forger ~pool:node_pool () with
     | Error e -> Error e
     | Ok node ->
       submit t (Tx.Sc_create config);
       mine t;
       let sc = { name; ledger_id; config; node; withhold_certs = false } in
-      t.sidechains <- t.sidechains @ [ sc ];
+      (* Constant-time prepend; iteration order (registration order) is
+         restored by the [sidechains] accessor. *)
+      t.sidechains_rev <- sc :: t.sidechains_rev;
       logf t "sidechain %s registered (activates at MC height %d)" name
         start_block;
       Ok sc)
@@ -205,13 +217,13 @@ let force_reorg t ~depth =
             ]
           in
           match
-            Block.assemble ~prev ~height
+            Block.assemble ~pool:t.pool ~prev ~height
               ~time:((1000 * t.time) + i)
-              ~txs ~pow:params.pow
+              ~txs ~pow:params.pow ()
           with
           | Error e -> Error e
           | Ok b -> (
-            match Chain.add_block t.chain b with
+            match Chain.add_block ~pool:t.pool t.chain b with
             | Error e -> Error e
             | Ok (chain, outcome) ->
               t.chain <- chain;
@@ -331,7 +343,7 @@ let tick t =
         logf t "%s forged block %d (%d refs, %d txs)" sc.name b.height
           (List.length b.mc_refs) (List.length b.txs));
       if not sc.withhold_certs then submit_certificate t sc)
-    t.sidechains;
+    (sidechains t);
   Zen_obs.Gauge.set_int mempool_depth (List.length (Mempool.txs t.mempool))
 
 let tick_n t n =
@@ -349,4 +361,4 @@ let is_ceased t sc =
   Sc_ledger.is_ceased st.scs sc.ledger_id ~height:st.height
 
 let find_sidechain t name =
-  List.find_opt (fun sc -> String.equal sc.name name) t.sidechains
+  List.find_opt (fun sc -> String.equal sc.name name) t.sidechains_rev

@@ -26,8 +26,17 @@ type t = {
   mutable mempool : Mempool.t;
   mc_wallet : Wallet.t;
   miner_addr : Hash.t;
+  pool : Pool.t;
+      (** worker pool handed to mining/validation (batch certificate
+          verification, commitment builds) and, by default, to every
+          sidechain node *)
   mutable time : int;
-  mutable sidechains : sidechain list;
+  mutable sidechains_rev : sidechain list;
+      (** newest first (constant-time registration); read registration
+          order through {!sidechains} *)
+  mutable next_sc_nonce : int;
+      (** monotonic creation-tx nonce — never reused, so derived ledger
+          ids stay collision-free even if sidechains are ever removed *)
   log : Zen_obs.Events.t;
       (** human-readable event log, also mirrored into the trace as
           instant events; read it through {!dump_log} (oldest first) *)
@@ -41,12 +50,23 @@ type t = {
           invalid it is purged from the mempool instead of lingering *)
 }
 
-val create : ?pow:Pow.params -> ?faults:Faults.t -> seed:string -> unit -> t
+val create :
+  ?pow:Pow.params ->
+  ?pool:Pool.t ->
+  ?faults:Faults.t ->
+  seed:string ->
+  unit ->
+  t
 (** A fresh world at height 0 with an empty mempool; [pow] defaults to
-    {!Pow.trivial} so tests spend no time mining. Everything downstream
-    is deterministic in [seed] (and, with [faults], in the fault plan:
-    the same [(seed, plan)] pair replays to a byte-identical event
-    log). *)
+    {!Pow.trivial} so tests spend no time mining, [pool] to
+    {!Pool.sequential}. Everything downstream is deterministic in
+    [seed] (and, with [faults], in the fault plan: the same
+    [(seed, plan)] pair replays to a byte-identical event log — for
+    every domain count of [pool]). *)
+
+val sidechains : t -> sidechain list
+(** Registered sidechains in registration order (the order {!tick}
+    drives them in). *)
 
 val mine : t -> unit
 (** One MC block from the current mempool. On a reorg outcome the
@@ -85,7 +105,7 @@ val add_latus :
     activation at [tip + activation_delay]. [family] lets several
     sidechains share one compiled circuit family (compilation is the
     expensive part); [pool] hands the node a multicore worker pool for
-    epoch-proof folding (default {!Pool.sequential}). *)
+    epoch-proof folding (default: the harness pool). *)
 
 val forward_transfer :
   t -> sidechain -> receiver:Hash.t -> payback:Hash.t -> amount:Amount.t ->

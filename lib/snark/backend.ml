@@ -95,9 +95,20 @@ let vk_encode vk =
 let vk_decode s =
   if String.length s <> 32 + 8 + 32 then None
   else
-    match int_of_string_opt ("0x" ^ String.sub s 32 8) with
-    | None -> None
-    | Some n_public ->
+    (* Strict lowercase hex only: [int_of_string] would also accept
+       uppercase digits and underscores, making the encoding malleable
+       (two byte strings decoding to the same key). *)
+    let hex = String.sub s 32 8 in
+    let strict =
+      String.for_all
+        (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        hex
+    in
+    if not strict then None
+    else
+      match int_of_string_opt ("0x" ^ hex) with
+      | None -> None
+      | Some n_public ->
       Some
         {
           circuit_digest = Hash.of_raw (String.sub s 0 32);

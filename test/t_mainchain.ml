@@ -188,7 +188,7 @@ let test_duplicate_and_orphan_blocks () =
   let orphan =
     ok
       (Block.assemble ~prev:(Hash.of_string "nowhere") ~height:7 ~time:9 ~txs:[]
-         ~pow:Pow.trivial)
+         ~pow:Pow.trivial ())
   in
   match Chain.add_block !chain orphan with
   | Error _ -> ()
@@ -215,7 +215,7 @@ let test_block_structure_checks () =
   let bad =
     ok
       (Block.assemble ~prev:(Chain.tip_hash !chain) ~height:2 ~time:2
-         ~txs:[ Tx.Sc_create (dummy_config ()) ] ~pow:Pow.trivial)
+         ~txs:[ Tx.Sc_create (dummy_config ()) ] ~pow:Pow.trivial ())
   in
   match Chain.add_block !chain bad with
   | Error _ -> ()
@@ -280,7 +280,9 @@ let test_mempool () =
   checki "dedup" 1 (Mempool.size m);
   checkb "mem" true (Mempool.mem m (Tx.txid tx));
   let block =
-    ok (Block.assemble ~prev:Hash.zero ~height:1 ~time:1 ~txs:[ tx ] ~pow:Pow.trivial)
+    ok
+      (Block.assemble ~prev:Hash.zero ~height:1 ~time:1 ~txs:[ tx ]
+         ~pow:Pow.trivial ())
   in
   let m = Mempool.remove_included m block in
   checki "removed" 0 (Mempool.size m)

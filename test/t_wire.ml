@@ -56,6 +56,47 @@ let test_wire_truncation () =
     (Result.is_error
        (Wire.read_list ~max:10 (Wire.reader (Wire.contents w)) Wire.read_u8))
 
+(* A count field under the structural [max] but impossible to satisfy
+   with the remaining bytes must be rejected up front — no allocation
+   or iteration on the attacker's say-so. *)
+let test_wire_count_dos () =
+  let checks = Alcotest.(check string) in
+  (* hollow list: 1_000_000 (< default max 2^20) elements claimed,
+     zero bytes follow the count *)
+  let w = Wire.writer () in
+  Wire.u32 w 1_000_000;
+  (match Wire.read_list (Wire.reader (Wire.contents w)) Wire.read_u8 with
+  | Ok _ -> Alcotest.fail "hollow list accepted"
+  | Error e ->
+    checks "list error" "wire: list count exceeds remaining input" e);
+  (* declared element floor: 10 hash-sized elements cannot fit in 20
+     bytes even though the count alone looks harmless *)
+  let w = Wire.writer () in
+  Wire.u32 w 10;
+  Wire.fixed w (String.make 20 'x');
+  checkb "min_elem_size rejects" true
+    (Result.is_error
+       (Wire.read_list ~min_elem_size:Hash.size
+          (Wire.reader (Wire.contents w))
+          Wire.read_hash));
+  (* hollow varbytes: claimed length far beyond the buffer *)
+  let w = Wire.writer () in
+  Wire.u32 w 500_000;
+  Wire.fixed w "abc";
+  (match Wire.read_varbytes (Wire.reader (Wire.contents w)) with
+  | Ok _ -> Alcotest.fail "hollow varbytes accepted"
+  | Error e ->
+    checks "varbytes error" "wire: varbytes length exceeds remaining input" e);
+  (* the guard must not break well-formed input *)
+  let w = Wire.writer () in
+  Wire.list w (Wire.u8 w) [ 7; 8 ];
+  checkb "legit list ok" true
+    (Wire.read_list (Wire.reader (Wire.contents w)) Wire.read_u8 = Ok [ 7; 8 ]);
+  let w = Wire.writer () in
+  Wire.varbytes w "payload";
+  checkb "legit varbytes ok" true
+    (Wire.read_varbytes (Wire.reader (Wire.contents w)) = Ok "payload")
+
 (* ---- CCTP objects ---- *)
 
 let sample_proofdata =
@@ -134,6 +175,22 @@ let test_config_decode_validates () =
 let test_trailing_bytes_rejected () =
   let enc = Codec.encode_wcert sample_cert ^ "junk" in
   checkb "trailing junk" true (Result.is_error (Codec.decode_wcert enc))
+
+let test_wcert_hollow_bt_count_rejected () =
+  (* Inflate the bt_list count of a valid encoding to 60000 (within the
+     codec's structural max of 65536) without supplying the elements:
+     the decoder must refuse before allocating or looping. The count is
+     the u32 after ledger_id (32) + epoch_id (8) + quality (8). *)
+  let raw = Bytes.of_string (Codec.encode_wcert sample_cert) in
+  Bytes.set raw 48 '\x60';
+  Bytes.set raw 49 '\xea';
+  Bytes.set raw 50 '\x00';
+  Bytes.set raw 51 '\x00';
+  match Codec.decode_wcert (Bytes.to_string raw) with
+  | Ok _ -> Alcotest.fail "hollow bt_list accepted"
+  | Error e ->
+    checkb "rejected by the count guard" true
+      (e = "wire: list count exceeds remaining input")
 
 (* ---- mainchain txs and blocks ---- *)
 
@@ -291,6 +348,9 @@ let suite =
     [
       Alcotest.test_case "primitives" `Quick test_wire_primitives;
       Alcotest.test_case "truncation" `Quick test_wire_truncation;
+      Alcotest.test_case "count DoS guards" `Quick test_wire_count_dos;
+      Alcotest.test_case "hollow bt count" `Quick
+        test_wcert_hollow_bt_count_rejected;
       Alcotest.test_case "wcert roundtrip" `Quick test_wcert_roundtrip;
       Alcotest.test_case "withdrawal roundtrip" `Quick test_withdrawal_roundtrip;
       Alcotest.test_case "config roundtrip" `Quick test_config_roundtrip;

@@ -19,4 +19,6 @@ let () =
       T_props.suite;
       T_verifier_extra.suite;
       T_wire.suite;
+      T_scale.suite;
+      T_codec_fuzz.suite;
     ]
