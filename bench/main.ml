@@ -1,4 +1,4 @@
-(* Benchmark entry point: runs every experiment table (E1–E14,
+(* Benchmark entry point: runs every experiment table (E1–E16,
    EXPERIMENTS.md) and the bechamel micro section.
 
    Usage:

@@ -62,8 +62,9 @@ let register_sidechains h ~n ~family ~epoch_len ~submit_len =
   go 1 []
 
 let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
-    no_cache metrics trace_out =
+    no_cache no_template_cache metrics trace_out =
   with_obs ~metrics ~trace_out @@ fun () ->
+  Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
     Printf.eprintf "error: --sidechains must be at least 1\n";
     1
@@ -163,8 +164,10 @@ let keys mst_depth =
 
 (* ---- prove ---- *)
 
-let prove steps domains workers mst_depth seed metrics trace_out =
+let prove steps domains workers mst_depth seed no_template_cache metrics
+    trace_out =
   with_obs ~metrics ~trace_out @@ fun () ->
+  Circuits.set_use_templates (not no_template_cache);
   let params = { Params.default with mst_depth } in
   if steps < 1 then begin
     Printf.eprintf "error: --steps must be at least 1\n";
@@ -244,8 +247,9 @@ let prove steps domains workers mst_depth seed metrics trace_out =
    function of (seed, plan): no wall-clock values, no machine state.
    CI runs the command twice and byte-compares the logs. *)
 let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
-    plan_str log_out metrics trace_out =
+    plan_str log_out no_template_cache metrics trace_out =
   with_obs ~metrics ~trace_out @@ fun () ->
+  Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
     Printf.eprintf "error: --sidechains must be at least 1\n";
     1
@@ -408,6 +412,15 @@ let no_cache_t =
            submission, mempool re-check and reorg replay re-runs SNARK \
            verification). Decisions are identical either way.")
 
+let no_template_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-template-cache" ]
+        ~doc:
+          "Disable compile-once circuit templates (every prove \
+           re-synthesizes and re-digests its circuit before proving). \
+           Proof bytes are identical either way.")
+
 let metrics_t =
   Arg.(
     value & flag
@@ -443,7 +456,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
-      $ sidechains_t $ domains_t $ no_cache_t $ metrics_t $ trace_out_t)
+      $ sidechains_t $ domains_t $ no_cache_t $ no_template_cache_t $ metrics_t
+      $ trace_out_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -482,8 +496,8 @@ let prove_cmd =
          "Prove one epoch on a multicore Domain pool and print measured \
           wall-clock stats")
     Term.(
-      const prove $ steps $ domains_t $ workers $ depth $ seed $ metrics_t
-      $ trace_out_t)
+      const prove $ steps $ domains_t $ workers $ depth $ seed
+      $ no_template_cache_t $ metrics_t $ trace_out_t)
 
 let chaos_cmd =
   let seed =
@@ -542,7 +556,8 @@ let chaos_cmd =
           replayable log")
     Term.(
       const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ sidechains_t
-      $ domains_t $ intensity $ plan $ log_out $ metrics_t $ trace_out_t)
+      $ domains_t $ intensity $ plan $ log_out $ no_template_cache_t
+      $ metrics_t $ trace_out_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in

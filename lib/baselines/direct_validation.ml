@@ -13,7 +13,7 @@ let epoch_data_bytes ~txs =
     0 txs
 
 let check_withdrawals ~final ~claimed =
-  let produced = final.Sc_state.backward_transfers in
+  let produced = Sc_state.backward_transfers final in
   if List.length produced <> List.length claimed then
     Error "direct validation: withdrawal count mismatch"
   else if

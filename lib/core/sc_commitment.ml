@@ -33,13 +33,9 @@ let wcert_hash = function
 
 (* SCXHash = H(TxsHash | WCertHash | X), with TxsHash = H(FTHash | BTRHash)
    — the shape of Fig. 4. *)
-let entry_hash e =
+let entry_hash_of_roots ~ft_root ~btr_root e =
   let txs_hash =
-    Hash.tagged "scc.txs"
-      [
-        Hash.to_raw (ft_subtree_root e.fts);
-        Hash.to_raw (btr_subtree_root e.btrs);
-      ]
+    Hash.tagged "scc.txs" [ Hash.to_raw ft_root; Hash.to_raw btr_root ]
   in
   Hash.tagged "scc.sc"
     [
@@ -47,6 +43,10 @@ let entry_hash e =
       Hash.to_raw (wcert_hash e.wcert);
       Hash.to_raw e.ledger_id;
     ]
+
+let entry_hash e =
+  entry_hash_of_roots ~ft_root:(ft_subtree_root e.fts)
+    ~btr_root:(btr_subtree_root e.btrs) e
 
 let leaf_hash leaf =
   Hash.tagged "scc.leaf" [ Hash.to_raw leaf.id; Hash.to_raw leaf.data ]
@@ -68,12 +68,51 @@ let build ?(pool = Pool.sequential) entries =
       entries
   then Error "sc commitment: reserved ledger id"
   else begin
-    (* Each entry hash rebuilds that sidechain's FT/BTR subtrees —
-       independent work, mapped across the pool's domains. *)
-    let real =
-      Pool.map_list pool ~chunk:1
-        (fun e -> { id = e.ledger_id; data = entry_hash e })
+    (* Subtree roots are memoized per distinct leaf list within this
+       build: with many sidechains the common case — empty FT/BTR lists,
+       or identical batches — would otherwise rebuild the same Merkle
+       tree once per entry. Distinct subtrees are independent work,
+       mapped across the pool's domains; the per-entry SHA finishers are
+       cheap and stay sequential. The memoized root is asserted
+       unchanged against the direct computation by the test suite
+       (entry_hash stays exported and unmemoized). *)
+    let module SMap = Map.Make (String) in
+    let leaf_key leaves = String.concat "" (List.map Hash.to_raw leaves) in
+    let with_leaves =
+      List.map
+        (fun e ->
+          ( e,
+            List.map Forward_transfer.hash e.fts,
+            List.map Mainchain_withdrawal.hash e.btrs ))
         entries
+    in
+    let distinct =
+      List.fold_left
+        (fun m (_, fl, bl) ->
+          m
+          |> SMap.add (leaf_key fl) fl
+          |> SMap.add (leaf_key bl) bl)
+        SMap.empty with_leaves
+    in
+    let bindings = SMap.bindings distinct in
+    let roots =
+      Pool.map_list pool ~chunk:1
+        (fun (key, leaves) -> (key, Merkle.root (Merkle.of_leaves leaves)))
+        bindings
+      |> List.fold_left (fun m (k, r) -> SMap.add k r m) SMap.empty
+    in
+    let real =
+      List.map
+        (fun (e, fl, bl) ->
+          {
+            id = e.ledger_id;
+            data =
+              entry_hash_of_roots
+                ~ft_root:(SMap.find (leaf_key fl) roots)
+                ~btr_root:(SMap.find (leaf_key bl) roots)
+                e;
+          })
+        with_leaves
     in
     let all =
       { id = min_sentinel; data = Hash.zero }

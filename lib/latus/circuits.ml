@@ -8,14 +8,34 @@ type keys = {
   constraints : int;
 }
 
-type family = {
-  params : Params.t;
-  remove_keys : keys;
-  insert_keys : keys;
-  append_keys : keys;
-  wcert : keys;
-  ownership : keys;
+(* A compile-once circuit template: the R1CS shape (synthesized and
+   digested exactly once, at family creation) plus a witness generator
+   that re-runs the same gadget code in evaluation mode to fill the
+   assignment for concrete values. [prove_step] and friends go through
+   the template on every call, so the per-proof cost is field
+   arithmetic only — no constraint lists, no SHA-256 re-digesting. *)
+type 'v template = {
+  circuit : R1cs.circuit;
+  assign : 'v -> Fp.t array * Fp.t array;
 }
+
+(* The re-synthesis path is kept selectable so equivalence tests and
+   benchmarks can compare both pipelines byte for byte. Set it before
+   proving starts: the flag is read-only while a Domain pool is
+   running. *)
+let templates_enabled = ref true
+let set_use_templates b = templates_enabled := b
+let use_templates () = !templates_enabled
+
+let template_hits =
+  Zen_obs.Counter.make
+    ~help:"Proves served by a compiled circuit template (no re-synthesis)"
+    "latus.template.hits"
+
+let template_misses =
+  Zen_obs.Counter.make
+    ~help:"Proves that re-synthesized their circuit (template path disabled)"
+    "latus.template.misses"
 
 let bits_of_pos pos d = List.init d (fun i -> Fp.of_int ((pos lsr i) land 1))
 
@@ -32,8 +52,7 @@ type slot_values = {
   s_to_v : Fp.t;
 }
 
-let synth_slot_write ~name ~depth ~remove v =
-  let ctx = Gadget.create () in
+let slot_write_body ~depth ~remove ctx v =
   let s_from = Gadget.input ctx v.s_from_v in
   let s_to = Gadget.input ctx v.s_to_v in
   let acc = Gadget.witness ctx v.acc in
@@ -66,7 +85,11 @@ let synth_slot_write ~name ~depth ~remove v =
     s_from;
   Gadget.assert_eq ~label:"slot.s_to" ctx
     (Gadget.poseidon2 ctx root_after acc)
-    s_to;
+    s_to
+
+let synth_slot_write ~name ~depth ~remove v =
+  let ctx = Gadget.create () in
+  slot_write_body ~depth ~remove ctx v;
   Gadget.finalize ~name ctx
 
 (* ---- Backward-transfer accumulation circuit ---- *)
@@ -80,8 +103,7 @@ type append_values = {
   a_s_to : Fp.t;
 }
 
-let synth_append ~name v =
-  let ctx = Gadget.create () in
+let append_body ctx v =
   let s_from = Gadget.input ctx v.a_s_from in
   let s_to = Gadget.input ctx v.a_s_to in
   let root = Gadget.witness ctx v.a_root in
@@ -96,7 +118,11 @@ let synth_append ~name v =
     s_from;
   Gadget.assert_eq ~label:"append.s_to" ctx
     (Gadget.poseidon2 ctx root acc1)
-    s_to;
+    s_to
+
+let synth_append ~name v =
+  let ctx = Gadget.create () in
+  append_body ctx v;
   Gadget.finalize ~name ctx
 
 (* ---- Withdrawal-certificate binding circuit ---- *)
@@ -107,14 +133,17 @@ type wcert_values = {
   w_s_last : Fp.t;
 }
 
-let synth_wcert ~name v =
-  let ctx = Gadget.create () in
+let wcert_body ctx v =
   let public = Array.to_list (Array.map (Gadget.input ctx) v.w_public) in
   let s_prev = Gadget.witness ctx v.w_s_prev in
   let s_last = Gadget.witness ctx v.w_s_last in
   let binding = Gadget.poseidon_hash ctx (public @ [ s_prev; s_last ]) in
   let binding_copy = Gadget.witness ctx (Gadget.value binding) in
-  Gadget.assert_eq ~label:"wcert.binding" ctx binding binding_copy;
+  Gadget.assert_eq ~label:"wcert.binding" ctx binding binding_copy
+
+let synth_wcert ~name v =
+  let ctx = Gadget.create () in
+  wcert_body ctx v;
   Gadget.finalize ~name ctx
 
 (* ---- BTR/CSW ownership circuit (§5.5.3.2) ---- *)
@@ -129,8 +158,7 @@ type ownership_values = {
   o_root : Fp.t;
 }
 
-let synth_ownership ~name ~depth v =
-  let ctx = Gadget.create () in
+let ownership_body ~depth ctx v =
   let public = Array.map (Gadget.input ctx) v.o_public in
   let amount_pub = public.(3) in
   let addr = Gadget.witness ctx v.o_addr in
@@ -151,10 +179,39 @@ let synth_ownership ~name ~depth v =
   let occupied = Gadget.poseidon2 ctx leaf_commit (Gadget.const Fp.one) in
   let root = Gadget.merkle_root ctx ~leaf:occupied ~path_bits ~siblings in
   Gadget.assert_eq ~label:"own.root" ctx root hist_root;
-  Gadget.assert_eq ~label:"own.amount" ctx amt amount_pub;
+  Gadget.assert_eq ~label:"own.amount" ctx amt amount_pub
+
+let synth_ownership ~name ~depth v =
+  let ctx = Gadget.create () in
+  ownership_body ~depth ctx v;
   Gadget.finalize ~name ctx
 
-(* ---- Key generation ---- *)
+(* ---- Template compilation (once per family) ---- *)
+
+let template_of ~name body dummy =
+  let ctx = Gadget.create () in
+  body ctx dummy;
+  let circuit, _, _ = Gadget.finalize ~name ctx in
+  let assign v =
+    let ctx = Gadget.create_eval () in
+    body ctx v;
+    Gadget.assignment ctx
+  in
+  { circuit; assign }
+
+type family = {
+  params : Params.t;
+  remove_keys : keys;
+  insert_keys : keys;
+  append_keys : keys;
+  wcert : keys;
+  ownership : keys;
+  remove_tpl : slot_values template;
+  insert_tpl : slot_values template;
+  append_tpl : append_values template;
+  wcert_tpl : wcert_values template;
+  ownership_tpl : ownership_values template;
+}
 
 let keys_of circuit =
   let pk, vk = Backend.setup circuit in
@@ -174,57 +231,60 @@ let dummy_slot depth =
 
 let make params =
   let depth = params.Params.mst_depth in
-  let circ_of (c, _, _) = c in
-  let remove_keys =
-    keys_of
-      (circ_of
-         (synth_slot_write ~name:"latus.remove" ~depth ~remove:true
-            (dummy_slot depth)))
+  let remove_tpl =
+    template_of ~name:"latus.remove"
+      (slot_write_body ~depth ~remove:true)
+      (dummy_slot depth)
   in
-  let insert_keys =
-    keys_of
-      (circ_of
-         (synth_slot_write ~name:"latus.insert" ~depth ~remove:false
-            (dummy_slot depth)))
+  let insert_tpl =
+    template_of ~name:"latus.insert"
+      (slot_write_body ~depth ~remove:false)
+      (dummy_slot depth)
   in
-  let append_keys =
-    keys_of
-      (circ_of
-         (synth_append ~name:"latus.append_bt"
-            {
-              a_root = Fp.zero;
-              a_acc0 = Fp.zero;
-              a_recv = Fp.zero;
-              a_amt = Fp.zero;
-              a_s_from = Fp.zero;
-              a_s_to = Fp.zero;
-            }))
+  let append_tpl =
+    template_of ~name:"latus.append_bt" append_body
+      {
+        a_root = Fp.zero;
+        a_acc0 = Fp.zero;
+        a_recv = Fp.zero;
+        a_amt = Fp.zero;
+        a_s_from = Fp.zero;
+        a_s_to = Fp.zero;
+      }
   in
-  let wcert =
-    keys_of
-      (circ_of
-         (synth_wcert ~name:"latus.wcert"
-            {
-              w_public = Array.make 5 Fp.zero;
-              w_s_prev = Fp.zero;
-              w_s_last = Fp.zero;
-            }))
+  let wcert_tpl =
+    template_of ~name:"latus.wcert" wcert_body
+      {
+        w_public = Array.make 5 Fp.zero;
+        w_s_prev = Fp.zero;
+        w_s_last = Fp.zero;
+      }
   in
-  let ownership =
-    keys_of
-      (circ_of
-         (synth_ownership ~name:"latus.ownership" ~depth
-            {
-              o_public = Array.make 5 Fp.zero;
-              o_addr = Fp.zero;
-              o_amt = Fp.zero;
-              o_nonce = Fp.zero;
-              o_pos = 0;
-              o_siblings = List.init depth (fun _ -> Fp.zero);
-              o_root = Fp.zero;
-            }))
+  let ownership_tpl =
+    template_of ~name:"latus.ownership" (ownership_body ~depth)
+      {
+        o_public = Array.make 5 Fp.zero;
+        o_addr = Fp.zero;
+        o_amt = Fp.zero;
+        o_nonce = Fp.zero;
+        o_pos = 0;
+        o_siblings = List.init depth (fun _ -> Fp.zero);
+        o_root = Fp.zero;
+      }
   in
-  { params; remove_keys; insert_keys; append_keys; wcert; ownership }
+  {
+    params;
+    remove_keys = keys_of remove_tpl.circuit;
+    insert_keys = keys_of insert_tpl.circuit;
+    append_keys = keys_of append_tpl.circuit;
+    wcert = keys_of wcert_tpl.circuit;
+    ownership = keys_of ownership_tpl.circuit;
+    remove_tpl;
+    insert_tpl;
+    append_tpl;
+    wcert_tpl;
+    ownership_tpl;
+  }
 
 let base_vks f = [ f.remove_keys.vk; f.insert_keys.vk; f.append_keys.vk ]
 let wcert_keys f = f.wcert
@@ -244,6 +304,26 @@ let prove_with keys (circuit, public, witness) =
   else
     let* proof = Backend.prove keys.pk ~public ~witness in
     Ok proof
+
+(* The hot-path dispatcher: templates fill the assignment without
+   synthesis; the legacy branch re-synthesizes (and re-digests) for the
+   equivalence tests and benchmarks. [R1cs.same] compares digests
+   computed at compile time — the per-prove SHA-256 of the constraint
+   stream is gone. *)
+let prove_via keys tpl resynth v =
+  if !templates_enabled then begin
+    Zen_obs.Counter.incr template_hits;
+    if not (R1cs.same tpl.circuit (Backend.pk_circuit keys.pk)) then
+      Error "circuit template diverged from setup"
+    else begin
+      let public, witness = tpl.assign v in
+      Backend.prove keys.pk ~public ~witness
+    end
+  end
+  else begin
+    Zen_obs.Counter.incr template_misses;
+    prove_with keys (resynth v)
+  end
 
 let prove_step f (state : Sc_state.t) step =
   let depth = f.params.Params.mst_depth in
@@ -269,8 +349,9 @@ let prove_step f (state : Sc_state.t) step =
         }
       in
       let* proof =
-        prove_with f.remove_keys
-          (synth_slot_write ~name:"latus.remove" ~depth ~remove:true v)
+        prove_via f.remove_keys f.remove_tpl
+          (synth_slot_write ~name:"latus.remove" ~depth ~remove:true)
+          v
       in
       Ok (proof, f.remove_keys.vk, s_from_v, s_to_v))
   | Sc_tx.Insert utxo -> (
@@ -294,8 +375,9 @@ let prove_step f (state : Sc_state.t) step =
         }
       in
       let* proof =
-        prove_with f.insert_keys
-          (synth_slot_write ~name:"latus.insert" ~depth ~remove:false v)
+        prove_via f.insert_keys f.insert_tpl
+          (synth_slot_write ~name:"latus.insert" ~depth ~remove:false)
+          v
       in
       Ok (proof, f.insert_keys.vk, s_from_v, s_to_v))
   | Sc_tx.Append_bt bt ->
@@ -313,7 +395,11 @@ let prove_step f (state : Sc_state.t) step =
         a_s_to = s_to_v;
       }
     in
-    let* proof = prove_with f.append_keys (synth_append ~name:"latus.append_bt" v) in
+    let* proof =
+      prove_via f.append_keys f.append_tpl
+        (synth_append ~name:"latus.append_bt")
+        v
+    in
     Ok (proof, f.append_keys.vk, s_from_v, s_to_v)
 
 let prove_wcert_binding f ~quality ~bt_root ~end_prev_epoch ~end_epoch
@@ -324,8 +410,9 @@ let prove_wcert_binding f ~quality ~bt_root ~end_prev_epoch ~end_epoch
          ~end_prev_epoch ~end_epoch)
       [| Proofdata.root_fp proofdata |]
   in
-  prove_with f.wcert
-    (synth_wcert ~name:"latus.wcert" { w_public; w_s_prev = s_prev; w_s_last = s_last })
+  prove_via f.wcert f.wcert_tpl
+    (synth_wcert ~name:"latus.wcert")
+    { w_public; w_s_prev = s_prev; w_s_last = s_last }
 
 let prove_ownership f ~mst ~utxo ~reference_block ~receiver ~proofdata =
   match Mst.find_utxo mst utxo with
@@ -338,15 +425,14 @@ let prove_ownership f ~mst ~utxo ~reference_block ~receiver ~proofdata =
            ~nullifier:(Utxo.nullifier utxo) ~receiver ~amount:utxo.amount)
         [| Proofdata.root_fp proofdata |]
     in
-    prove_with f.ownership
-      (synth_ownership ~name:"latus.ownership"
-         ~depth:f.params.Params.mst_depth
-         {
-           o_public;
-           o_addr = Hash.to_fp utxo.addr;
-           o_amt = Amount.to_fp utxo.amount;
-           o_nonce = Hash.to_fp utxo.nonce;
-           o_pos = pos;
-           o_siblings = siblings;
-           o_root = Mst.root mst;
-         })
+    prove_via f.ownership f.ownership_tpl
+      (synth_ownership ~name:"latus.ownership" ~depth:f.params.Params.mst_depth)
+      {
+        o_public;
+        o_addr = Hash.to_fp utxo.addr;
+        o_amt = Amount.to_fp utxo.amount;
+        o_nonce = Hash.to_fp utxo.nonce;
+        o_pos = pos;
+        o_siblings = siblings;
+        o_root = Mst.root mst;
+      }

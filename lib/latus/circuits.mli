@@ -31,7 +31,23 @@ type family
 
 val make : Params.t -> family
 (** Compiles and sets up every circuit for the given MST depth.
-    Deterministic: two nodes with equal params derive equal keys. *)
+    Deterministic: two nodes with equal params derive equal keys.
+
+    Each circuit is compiled once into a template: the R1CS shape is
+    synthesized and digested here, and every later prove only fills the
+    witness assignment (evaluation-mode gadget run, no constraint
+    emission, no re-digesting). Proof bytes are bit-identical to the
+    re-synthesis path. *)
+
+val set_use_templates : bool -> unit
+(** Selects the proving pipeline: [true] (the default) proves through
+    the compiled templates; [false] re-synthesizes the circuit on every
+    call — the legacy path, kept for equivalence tests and benchmarks.
+    Flip it only while no prover pool is running; the flag is read per
+    prove. Observable via the [latus.template.hits]/[.misses]
+    counters. *)
+
+val use_templates : unit -> bool
 
 val base_vks : family -> Backend.verification_key list
 (** The leaf verification keys for {!Zen_snark.Recursive.create}. *)

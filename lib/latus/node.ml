@@ -407,7 +407,7 @@ let build_certificate t ~mc =
           then Error "certificate: epoch proof endpoints mismatch"
           else Ok ())
       in
-      let bt_list = end_state.backward_transfers in
+      let bt_list = Sc_state.backward_transfers end_state in
       let quality = last_record.block.height in
       let delta = Mst.delta_bits end_state.mst in
       let proofdata =

@@ -3,12 +3,13 @@ open Zendoo
 
 type t = {
   mst : Mst.t;
-  backward_transfers : Backward_transfer.t list;
+  bts_rev : Backward_transfer.t list; (* newest first: O(1) append *)
+  bt_count : int;
   bt_acc : Fp.t;
 }
 
 let create params =
-  { mst = Mst.create params; backward_transfers = []; bt_acc = Fp.zero }
+  { mst = Mst.create params; bts_rev = []; bt_count = 0; bt_acc = Fp.zero }
 
 let hash t = Poseidon.hash2 (Mst.root t.mst) t.bt_acc
 
@@ -19,20 +20,19 @@ let bt_acc_step acc (bt : Backward_transfer.t) =
 let append_bt t bt =
   {
     t with
-    backward_transfers = t.backward_transfers @ [ bt ];
+    bts_rev = bt :: t.bts_rev;
+    bt_count = t.bt_count + 1;
     bt_acc = bt_acc_step t.bt_acc bt;
   }
 
+let backward_transfers t = List.rev t.bts_rev
+let bt_count t = t.bt_count
+
 let reset_epoch t =
-  {
-    mst = Mst.snapshot t.mst;
-    backward_transfers = [];
-    bt_acc = Fp.zero;
-  }
+  { mst = Mst.snapshot t.mst; bts_rev = []; bt_count = 0; bt_acc = Fp.zero }
 
 let with_mst t mst = { t with mst }
 
 let pp fmt t =
   Format.fprintf fmt "state(mst=%a, %d utxos, %d bts)" Fp.pp (Mst.root t.mst)
-    (Mst.occupied t.mst)
-    (List.length t.backward_transfers)
+    (Mst.occupied t.mst) t.bt_count

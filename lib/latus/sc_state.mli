@@ -9,10 +9,13 @@
 open Zen_crypto
 open Zendoo
 
-type t = {
+type t = private {
   mst : Mst.t;
-  backward_transfers : Backward_transfer.t list;  (** oldest first *)
-  bt_acc : Fp.t;  (** Poseidon accumulator over [backward_transfers] *)
+  bts_rev : Backward_transfer.t list;
+      (** newest first, so {!append_bt} is O(1); read the epoch's list
+          in order through {!backward_transfers} *)
+  bt_count : int;
+  bt_acc : Fp.t;  (** Poseidon accumulator over the epoch's BTs *)
 }
 
 val create : Params.t -> t
@@ -21,6 +24,14 @@ val hash : t -> Fp.t
 (** [s_i] of §5.4: what base and merge proofs bind. *)
 
 val append_bt : t -> Backward_transfer.t -> t
+(** O(1): prepends internally and steps the accumulator; the
+    accumulator order (oldest first) is unchanged. *)
+
+val backward_transfers : t -> Backward_transfer.t list
+(** The epoch's backward transfers, oldest first — the order the
+    accumulator folded them in and the order certificates carry. *)
+
+val bt_count : t -> int
 
 val bt_acc_step : Fp.t -> Backward_transfer.t -> Fp.t
 (** One accumulator step — replayed in-circuit by the BT gadgets. *)

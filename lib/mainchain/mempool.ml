@@ -1,30 +1,53 @@
 open Zen_crypto
 
-type t = { order : Tx.t list (* newest first *); ids : Hash.Set.t }
+type t = {
+  order : Tx.t list; (* newest first *)
+  ids : Hash.Set.t;
+  count : int; (* |order|, carried so [size] is O(1) *)
+}
 
-let empty = { order = []; ids = Hash.Set.empty }
+let empty = { order = []; ids = Hash.Set.empty; count = 0 }
 
 let add t tx =
   let id = Tx.txid tx in
   if Hash.Set.mem id t.ids then t
-  else { order = tx :: t.order; ids = Hash.Set.add id t.ids }
+  else
+    {
+      order = tx :: t.order;
+      ids = Hash.Set.add id t.ids;
+      count = t.count + 1;
+    }
 
 let add_list t txs = List.fold_left add t txs
 
 let remove_included t (b : Block.t) =
   let included = Hash.Set.of_list (List.map Tx.txid b.txs) in
-  {
-    order =
-      List.filter (fun tx -> not (Hash.Set.mem (Tx.txid tx) included)) t.order;
-    ids = Hash.Set.diff t.ids included;
-  }
+  let kept = ref 0 in
+  let order =
+    List.filter
+      (fun tx ->
+        let keep = not (Hash.Set.mem (Tx.txid tx) included) in
+        if keep then incr kept;
+        keep)
+      t.order
+  in
+  { order; ids = Hash.Set.diff t.ids included; count = !kept }
+
+(* Ids are unique in the pool, so removal can stop at the first hit and
+   share the untouched tail instead of refiltering the whole list. *)
+let rec drop_first id acc = function
+  | [] -> List.rev acc
+  | tx :: rest ->
+    if Hash.equal (Tx.txid tx) id then List.rev_append acc rest
+    else drop_first id (tx :: acc) rest
 
 let remove t id =
   if not (Hash.Set.mem id t.ids) then t
   else
     {
-      order = List.filter (fun tx -> not (Hash.equal (Tx.txid tx) id)) t.order;
+      order = drop_first id [] t.order;
       ids = Hash.Set.remove id t.ids;
+      count = t.count - 1;
     }
 
 (* Mempool recovery after a reorg: transactions of the abandoned branch
@@ -49,4 +72,4 @@ let reinject_disconnected t ~disconnected ~connected =
 
 let txs t = List.rev t.order
 let mem t id = Hash.Set.mem id t.ids
-let size t = List.length t.order
+let size t = t.count

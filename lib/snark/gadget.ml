@@ -1,41 +1,87 @@
 open Zen_crypto
 
-type wire = { lc : R1cs.lc; value : Fp.t }
+(* A wire's [terms] is the length of its linear combination. It is
+   maintained incrementally in both modes so that witness-only
+   evaluation reproduces every structural decision of synthesis (see
+   [materialize]) without touching the lists themselves. *)
+type wire = { lc : R1cs.lc; terms : int; value : Fp.t }
+
+(* [Shape] emits constraints into an R1CS builder while computing
+   values — the original synthesis mode. [Eval] runs the same gadget
+   code but only records the public/witness value sequences: linear
+   combinations stay empty and [emit] is a no-op, so filling the
+   assignment for a compile-once template costs the field arithmetic
+   and nothing else. *)
+type mode = Shape of R1cs.builder | Eval
 
 type ctx = {
-  builder : R1cs.builder;
+  mode : mode;
   mutable public_rev : Fp.t list;
   mutable witness_rev : Fp.t list;
+  mutable eval_witness_started : bool;
 }
 
-let create () = { builder = R1cs.create (); public_rev = []; witness_rev = [] }
+let create () =
+  {
+    mode = Shape (R1cs.create ());
+    public_rev = [];
+    witness_rev = [];
+    eval_witness_started = false;
+  }
+
+let create_eval () =
+  { mode = Eval; public_rev = []; witness_rev = []; eval_witness_started = false }
+
+let emit ?label ctx a bb c =
+  match ctx.mode with
+  | Shape builder -> R1cs.constrain ?label builder a bb c
+  | Eval -> ()
 
 let input ctx v =
-  let var = R1cs.alloc_input ctx.builder in
-  ctx.public_rev <- v :: ctx.public_rev;
-  { lc = [ (Fp.one, var) ]; value = v }
+  match ctx.mode with
+  | Shape builder ->
+    let var = R1cs.alloc_input builder in
+    ctx.public_rev <- v :: ctx.public_rev;
+    { lc = [ (Fp.one, var) ]; terms = 1; value = v }
+  | Eval ->
+    if ctx.eval_witness_started then
+      invalid_arg "Gadget.input: witness allocation already started";
+    ctx.public_rev <- v :: ctx.public_rev;
+    { lc = []; terms = 1; value = v }
 
 let witness ctx v =
-  let var = R1cs.alloc_witness ctx.builder in
-  ctx.witness_rev <- v :: ctx.witness_rev;
-  { lc = [ (Fp.one, var) ]; value = v }
+  match ctx.mode with
+  | Shape builder ->
+    let var = R1cs.alloc_witness builder in
+    ctx.witness_rev <- v :: ctx.witness_rev;
+    { lc = [ (Fp.one, var) ]; terms = 1; value = v }
+  | Eval ->
+    ctx.eval_witness_started <- true;
+    ctx.witness_rev <- v :: ctx.witness_rev;
+    { lc = []; terms = 1; value = v }
 
-let const v = { lc = [ (v, R1cs.one_var) ]; value = v }
+let const v = { lc = [ (v, R1cs.one_var) ]; terms = 1; value = v }
 let const_int n = const (Fp.of_int n)
 let value w = w.value
 
-(* Linear operations merge coefficient lists; no constraints emitted. *)
-let add a b = { lc = a.lc @ b.lc; value = Fp.add a.value b.value }
+(* Linear operations merge coefficient lists; no constraints emitted.
+   In eval mode both lists are empty and only [terms]/[value] move. *)
+let add a b =
+  { lc = a.lc @ b.lc; terms = a.terms + b.terms; value = Fp.add a.value b.value }
 
 let scale k a =
-  { lc = List.map (fun (c, v) -> (Fp.mul k c, v)) a.lc; value = Fp.mul k a.value }
+  {
+    lc = List.map (fun (c, v) -> (Fp.mul k c, v)) a.lc;
+    terms = a.terms;
+    value = Fp.mul k a.value;
+  }
 
 let sub a b = add a (scale (Fp.neg Fp.one) b)
 let sum ws = List.fold_left add (const Fp.zero) ws
 
 let mul ctx a b =
   let out = witness ctx (Fp.mul a.value b.value) in
-  R1cs.constrain ctx.builder a.lc b.lc out.lc;
+  emit ctx a.lc b.lc out.lc;
   out
 
 let square ctx a = mul ctx a a
@@ -43,26 +89,24 @@ let square ctx a = mul ctx a a
 let one_lc = [ (Fp.one, R1cs.one_var) ]
 
 let assert_eq ?label ctx a b =
-  R1cs.constrain ?label ctx.builder (sub a b).lc one_lc [ (Fp.zero, R1cs.one_var) ]
+  emit ?label ctx (sub a b).lc one_lc [ (Fp.zero, R1cs.one_var) ]
 
 let assert_zero ?label ctx a = assert_eq ?label ctx a (const Fp.zero)
 
 let assert_bool ?label ctx a =
-  R1cs.constrain ?label ctx.builder a.lc (sub a (const Fp.one)).lc
-    [ (Fp.zero, R1cs.one_var) ]
+  emit ?label ctx a.lc (sub a (const Fp.one)).lc [ (Fp.zero, R1cs.one_var) ]
 
 let assert_nonzero ?label ctx a =
   let inv = witness ctx (Fp.inv a.value) in
-  R1cs.constrain ?label ctx.builder a.lc inv.lc one_lc
+  emit ?label ctx a.lc inv.lc one_lc
 
 let is_zero ctx v =
   (* y = 1 iff v = 0: constraints v·y = 0 and v·m = 1 − y, with m the
      inverse-or-zero hint. *)
   let m = witness ctx (if Fp.is_zero v.value then Fp.zero else Fp.inv v.value) in
   let y = witness ctx (if Fp.is_zero v.value then Fp.one else Fp.zero) in
-  R1cs.constrain ~label:"is_zero.vy" ctx.builder v.lc y.lc
-    [ (Fp.zero, R1cs.one_var) ];
-  R1cs.constrain ~label:"is_zero.vm" ctx.builder v.lc m.lc (sub (const Fp.one) y).lc;
+  emit ~label:"is_zero.vy" ctx v.lc y.lc [ (Fp.zero, R1cs.one_var) ];
+  emit ~label:"is_zero.vm" ctx v.lc m.lc (sub (const Fp.one) y).lc;
   y
 
 let select ctx ~cond a b =
@@ -98,12 +142,13 @@ let sbox ctx x =
 (* Rebind a wire to a fresh single-variable wire when its linear
    combination has grown long; without this, the non-S-boxed lanes of
    partial rounds triple in term count per round (3^22 terms). One
-   constraint buys back a constant-size lc. *)
+   constraint buys back a constant-size lc. The [terms] threshold makes
+   the decision identical in eval mode, where the lists are empty. *)
 let materialize ctx w =
-  if List.length w.lc <= 12 then w
+  if w.terms <= 12 then w
   else begin
     let fresh = witness ctx w.value in
-    R1cs.constrain ~label:"materialize" ctx.builder w.lc one_lc fresh.lc;
+    emit ~label:"materialize" ctx w.lc one_lc fresh.lc;
     fresh
   end
 
@@ -173,8 +218,14 @@ let merkle_root ctx ~leaf ~path_bits ~siblings =
       poseidon2 ctx left right)
     leaf path_bits siblings
 
-let finalize ~name ctx =
-  let circuit = R1cs.finalize ~name ctx.builder in
-  ( circuit,
-    Array.of_list (List.rev ctx.public_rev),
+let assignment ctx =
+  ( Array.of_list (List.rev ctx.public_rev),
     Array.of_list (List.rev ctx.witness_rev) )
+
+let finalize ~name ctx =
+  match ctx.mode with
+  | Eval -> invalid_arg "Gadget.finalize: evaluation-only context"
+  | Shape builder ->
+    let circuit = R1cs.finalize ~name builder in
+    let public, witness = assignment ctx in
+    (circuit, public, witness)

@@ -14,6 +14,17 @@ type ctx
 type wire
 
 val create : unit -> ctx
+(** Synthesis (shape) context: gadget calls emit constraints into an
+    R1CS builder while computing wire values. *)
+
+val create_eval : unit -> ctx
+(** Witness-only evaluation context for compile-once templates: the
+    same gadget code runs, but no constraints are emitted and no linear
+    combinations are built — only the public/witness value sequences
+    are recorded (read them back with {!assignment}). Because a wire's
+    term count is tracked in both modes, every structural decision
+    (e.g. lc materialization) replays identically, so the assignment is
+    bit-identical to what synthesis would have produced. *)
 
 val input : ctx -> Fp.t -> wire
 (** Allocates a public-input wire carrying the given value. Must be
@@ -68,6 +79,11 @@ val merkle_root : ctx -> leaf:wire -> path_bits:wire list -> siblings:wire list 
     position bits (leaf-to-root, booleans) and sibling hash wires;
     matches {!Zen_crypto.Smt.verify}. *)
 
+val assignment : ctx -> Fp.t array * Fp.t array
+(** The [(public, witness)] value segments accumulated so far. Works in
+    both modes; this is how an evaluation context's result is read. *)
+
 val finalize : name:string -> ctx -> R1cs.circuit * Fp.t array * Fp.t array
 (** Freezes the circuit and returns [(circuit, public, witness)] — the
-    assignment segments accumulated during synthesis. *)
+    assignment segments accumulated during synthesis. Raises
+    [Invalid_argument] on an evaluation-only context. *)

@@ -33,6 +33,10 @@ val constrain : ?label:string -> builder -> lc -> lc -> lc -> unit
 (** [constrain b a bb c] adds the constraint [⟨a,z⟩·⟨bb,z⟩ = ⟨c,z⟩]. *)
 
 val finalize : name:string -> builder -> circuit
+(** Freezes the builder: digests every constraint (SHA-256, once) and
+    compiles the three matrices into flat CSR arrays so satisfiability
+    checks run allocation-free. Expensive — meant to run once per
+    circuit family, not per proof. *)
 
 val name : circuit -> string
 val num_constraints : circuit -> int
@@ -43,6 +47,12 @@ val num_vars : circuit -> int
 
 val digest : circuit -> Hash.t
 (** Collision-resistant identifier of the full constraint system. *)
+
+val same : circuit -> circuit -> bool
+(** Identity of finalized circuits: physical equality, falling back to
+    comparing the digests computed at {!finalize}. Never re-hashes the
+    constraints — this is the cheap check compile-once templates use in
+    place of re-synthesis on the prove hot path. *)
 
 val eval_lc : Fp.t array -> lc -> Fp.t
 

@@ -73,11 +73,11 @@ let test_direct_validation_replays () =
   match Direct_validation.replay_epoch ~params ~initial:st0 ~txs:[ tx ] with
   | Error e -> Alcotest.fail e
   | Ok final ->
-    checki "one bt" 1 (List.length final.Zen_latus.Sc_state.backward_transfers);
+    checki "one bt" 1 (List.length (Zen_latus.Sc_state.backward_transfers final));
     checkb "claims check" true
       (Result.is_ok
          (Direct_validation.check_withdrawals ~final
-            ~claimed:final.Zen_latus.Sc_state.backward_transfers));
+            ~claimed:(Zen_latus.Sc_state.backward_transfers final)));
     checkb "wrong claims rejected" true
       (Result.is_error (Direct_validation.check_withdrawals ~final ~claimed:[]));
     checkb "bytes positive" true (Direct_validation.epoch_data_bytes ~txs:[ tx ] > 0)

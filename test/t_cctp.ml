@@ -215,6 +215,44 @@ let test_commitment_entry_hash_reconstructible () =
       (Sc_commitment.verify_membership ~root:(Sc_commitment.root t)
          ~ledger_id:id ~entry_hash:rebuilt m)
 
+(* Regression (PR 5): build memoizes FT/BTR subtree roots per distinct
+   leaf list. The root must be unchanged relative to the direct,
+   unmemoized per-entry computation — exercised here with the
+   memo-friendly shapes (shared empty lists, repeated identical
+   batches) and proven leaf by leaf via the exported entry_hash. *)
+let test_commitment_memoized_root_unchanged () =
+  let id i = Hash.of_string (Printf.sprintf "memo%d" i) in
+  let shared_fts = List.init 3 (mk_ft Hash.zero) in
+  let entries =
+    List.init 12 (fun i ->
+        {
+          Sc_commitment.ledger_id = id i;
+          (* thirds: empty / one shared batch / individual lists *)
+          fts =
+            (if i mod 3 = 0 then []
+             else if i mod 3 = 1 then shared_fts
+             else List.init 2 (mk_ft (id i)));
+          btrs = [];
+          wcert = None;
+        })
+  in
+  let t = ok (Sc_commitment.build entries) in
+  List.iter
+    (fun e ->
+      match Sc_commitment.prove_membership t e.Sc_commitment.ledger_id with
+      | None -> Alcotest.fail "no membership proof"
+      | Some m ->
+        checkb "memoized leaf = direct entry_hash" true
+          (Sc_commitment.verify_membership ~root:(Sc_commitment.root t)
+             ~ledger_id:e.Sc_commitment.ledger_id
+             ~entry_hash:(Sc_commitment.entry_hash e) m))
+    entries;
+  (* Parallel build takes the same memoized path chunks; same root. *)
+  Zen_crypto.Pool.with_pool ~domains:3 (fun pool ->
+      let t_par = ok (Sc_commitment.build ~pool entries) in
+      checkb "pooled build, same root" true
+        (Hash.equal (Sc_commitment.root t) (Sc_commitment.root t_par)))
+
 (* ---- bt list roots / wcert ---- *)
 
 let test_bt_list_root () =
@@ -283,6 +321,8 @@ let suite =
         test_commitment_duplicate_rejected;
       Alcotest.test_case "commitment reconstruction" `Quick
         test_commitment_entry_hash_reconstructible;
+      Alcotest.test_case "commitment memoized root" `Quick
+        test_commitment_memoized_root_unchanged;
       Alcotest.test_case "bt list root" `Quick test_bt_list_root;
       Alcotest.test_case "wcert total" `Quick test_wcert_total;
     ]

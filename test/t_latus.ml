@@ -192,7 +192,7 @@ let test_ft_accept_and_reject () =
   in
   checki "minted" 55 (Amount.to_int (Mst.balance_of st'.Sc_state.mst recv));
   checki "rejected became bt" 1
-    (List.length st'.Sc_state.backward_transfers)
+    (List.length (Sc_state.backward_transfers st'))
 
 let test_ft_slot_collision () =
   let _w, recv = wallet "coll" in
@@ -220,7 +220,7 @@ let test_bt_tx () =
   let tx = ok (Sc_wallet.build_backward_transfer w1 st ~utxo:coin ~mc_receiver:mc_recv) in
   let st' = ok (Sc_tx.apply st tx) in
   checki "coin burnt" 0 (Amount.to_int (Mst.balance_of st'.Sc_state.mst a1));
-  checki "bt recorded" 1 (List.length st'.Sc_state.backward_transfers);
+  checki "bt recorded" 1 (List.length (Sc_state.backward_transfers st'));
   checkb "bt acc moved" false (Fp.equal st'.Sc_state.bt_acc Fp.zero)
 
 let test_btr_tx () =
@@ -242,14 +242,45 @@ let test_btr_tx () =
       (Sc_tx.apply st
          (Sc_tx.Backward_transfer_requests_tx { mcid = Hash.zero; btrs = [ btr ] }))
   in
-  checki "bt recorded" 1 (List.length st'.Sc_state.backward_transfers);
+  checki "bt recorded" 1 (List.length (Sc_state.backward_transfers st'));
   (* double-sync: utxo gone, BTR skipped without failing the tx *)
   let st'' =
     ok
       (Sc_tx.apply st'
          (Sc_tx.Backward_transfer_requests_tx { mcid = Hash.zero; btrs = [ btr ] }))
   in
-  checki "skip keeps bts" 1 (List.length st''.Sc_state.backward_transfers)
+  checki "skip keeps bts" 1 (List.length (Sc_state.backward_transfers st''))
+
+(* Regression (PR 5): append_bt used to rebuild the whole list per
+   append ([t.backward_transfers @ [bt]], quadratic). A 50k-BT epoch
+   would take tens of seconds on that path; the O(1) prepend finishes
+   in well under the generous bound below, with the accumulator fold
+   order — and hence the certificate's bt_list/bt_root — unchanged. *)
+let test_bt_append_linear () =
+  let n = 50_000 in
+  let bts =
+    List.init n (fun i ->
+        Backward_transfer.make
+          ~receiver_addr:(Hash.of_string (Printf.sprintf "bt-lin-%d" (i mod 7)))
+          ~amount:(amount (i + 1)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let final = List.fold_left Sc_state.append_bt (Sc_state.create params) bts in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  checkb
+    (Printf.sprintf "50k appends stay linear (%.2fs)" elapsed)
+    true (elapsed < 5.0);
+  checki "count carried" n (Sc_state.bt_count final);
+  checkb "read-back order is append order" true
+    (List.for_all2 Backward_transfer.equal bts
+       (Sc_state.backward_transfers final));
+  (* The accumulator folds oldest-first exactly as before. *)
+  let expected_acc = List.fold_left Sc_state.bt_acc_step Fp.zero bts in
+  checkb "bt_acc unchanged" true (Fp.equal final.Sc_state.bt_acc expected_acc);
+  checkb "certificate bt_root unchanged" true
+    (Hash.equal
+       (Backward_transfer.list_root (Sc_state.backward_transfers final))
+       (Backward_transfer.list_root bts))
 
 let test_state_hash_tracks_components () =
   let st = Sc_state.create params in
@@ -431,6 +462,7 @@ let suite =
       Alcotest.test_case "ft slot collision" `Quick test_ft_slot_collision;
       Alcotest.test_case "bt tx" `Quick test_bt_tx;
       Alcotest.test_case "btr tx" `Quick test_btr_tx;
+      Alcotest.test_case "bt append linear" `Quick test_bt_append_linear;
       Alcotest.test_case "state hash" `Quick test_state_hash_tracks_components;
       Alcotest.test_case "leader proportional" `Quick
         test_leader_deterministic_and_proportional;

@@ -309,7 +309,7 @@ let test_btr_full_flow () =
   (* completes epoch 1 (heights 11..14) *)
   let _ = forge w in
   let st = Node.tip_state w.node in
-  checki "btr became bt" 1 (List.length st.Sc_state.backward_transfers);
+  checki "btr became bt" 1 (List.length (Sc_state.backward_transfers st));
   let (_ : Tx.t) = build_and_submit_cert w in
   mine w;
   let sc = sc_state_on_mc w in

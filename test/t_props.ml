@@ -127,7 +127,7 @@ let props =
         let bt_list_total =
           List.fold_left
             (fun acc (bt : Backward_transfer.t) -> acc + Amount.to_int bt.amount)
-            0 r.state.Sc_state.backward_transfers
+            0 (Sc_state.backward_transfers r.state)
         in
         Amount.to_int (Mst.total_value r.state.Sc_state.mst)
         = r.ft_in - r.bt_out
@@ -138,7 +138,7 @@ let props =
         let r = interpret wallets actions in
         let replayed =
           List.fold_left Sc_state.bt_acc_step Fp.zero
-            r.state.Sc_state.backward_transfers
+            (Sc_state.backward_transfers r.state)
         in
         Fp.equal replayed r.state.Sc_state.bt_acc);
     prop "apply equals folding its own steps" gen_workload (fun actions ->

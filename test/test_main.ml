@@ -8,6 +8,7 @@ let () =
       T_obs.suite;
       T_ec_schnorr.suite;
       T_snark.suite;
+      T_template.suite;
       T_cctp.suite;
       T_mainchain.suite;
       T_latus.suite;
