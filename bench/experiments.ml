@@ -816,7 +816,7 @@ let e13_prover_pool () =
       (fun domains ->
         let stats, total, fp =
           if domains = 1 then (base_stats, base_total, base_fp)
-          else Zen_crypto.Pool.with_pool ~domains (fun pool -> run pool)
+          else run (Zen_crypto.Pool.get ~domains)
         in
         [
           string_of_int domains;
@@ -837,8 +837,10 @@ let e13_prover_pool () =
     rows;
   Util.note
     "32-step epoch; speedup = 1-domain prove+merge wall / this run's.\n\
-     Domain.recommended_domain_count on this machine: %d (wall-clock\n\
-     speedup is bounded by the cores actually available).\n"
+     Pools come from the process-wide registry (Pool.get): spawned once\n\
+     per domain count, reused across rows, spawn cost outside the timed\n\
+     sections. Domain.recommended_domain_count on this machine: %d\n\
+     (wall-clock speedup is bounded by the cores actually available).\n"
     (Zen_crypto.Pool.recommended_domains ())
 
 (* ---- E14: fault storm (Zen_sim.Faults) ---- *)
@@ -1051,9 +1053,7 @@ let e15_mc_scale () =
                 (base_wall, base_verifies, base_hits, base_decisions)
               else if domains = 1 then
                 run ~sidechains ~cache Zen_crypto.Pool.sequential
-              else
-                Zen_crypto.Pool.with_pool ~domains (fun pool ->
-                    run ~sidechains ~cache pool)
+              else run ~sidechains ~cache (Zen_crypto.Pool.get ~domains)
             in
             let identical = Hash.equal decisions base_decisions in
             if not identical then identical_all := false;
@@ -1176,7 +1176,7 @@ let e16_template () =
         in
         let (off, on_) =
           if domains = 1 then at Zen_crypto.Pool.sequential
-          else Zen_crypto.Pool.with_pool ~domains at
+          else at (Zen_crypto.Pool.get ~domains)
         in
         List.map
           (fun (label, (wall, fin, hit, mis, fp)) ->
@@ -1209,8 +1209,12 @@ let e16_template () =
      64-step epoch; speedup is against re-synthesis at 1 domain.\n\
      finalizes counts R1cs circuit synthesis+digest runs during the\n\
      epoch: one per proved step on the legacy path, zero on the\n\
-     template path (templates compile before the timed section).\n"
+     template path (templates compile before the timed section).\n\
+     Multi-domain rows run on the persistent registry pool (Pool.get,\n\
+     spawned once, cost-hinted chunking); recommended_domain_count\n\
+     here: %d.\n"
     !identical_all
+    (Zen_crypto.Pool.recommended_domains ())
 
 let all =
   [

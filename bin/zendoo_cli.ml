@@ -71,8 +71,9 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
   end
   else begin
     Verifier.Cache.set_enabled (not no_cache);
-    let pool = Pool.create ~domains:(resolve_domains domains) in
-    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    (* The process-wide persistent pool: spawned once, reused by every
+       operation in the run, joined by the registry's at_exit hook. *)
+    let pool = Pool.get ~domains:(resolve_domains domains) in
     let h = Zen_sim.Harness.create ~pool ~seed () in
     Zen_sim.Harness.fund h ~blocks:5;
     let family = Circuits.make Params.default in
@@ -198,7 +199,7 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
                ~amount:(Amount.of_int_exn (i + 1))
                ~nonce:(Hash.of_string (Printf.sprintf "cli-%d-%d" seed i))))
     in
-    Pool.with_pool ~domains @@ fun pool ->
+    let pool = Pool.get ~domains in
     let t0 = Unix.gettimeofday () in
     (match
        Prover_pool.prove_epoch ~pool family ~initial:st ~steps:workload
@@ -275,8 +276,7 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
     1
   | Ok plan -> (
     let faults = Zen_sim.Faults.create ~seed plan in
-    let pool = Pool.create ~domains:(resolve_domains domains) in
-    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let pool = Pool.get ~domains:(resolve_domains domains) in
     let h =
       Zen_sim.Harness.create ~pool ~faults
         ~seed:(Printf.sprintf "chaos.%d" seed) ()

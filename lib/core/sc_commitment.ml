@@ -96,7 +96,10 @@ let build ?(pool = Pool.sequential) entries =
     in
     let bindings = SMap.bindings distinct in
     let roots =
-      Pool.map_list pool ~chunk:1
+      (* Most distinct subtrees are empty or a handful of leaves
+         (~tens of µs each); the cost hint batches them so a block's
+         worth of sidechains doesn't pay one sync per subtree. *)
+      Pool.map_list pool ~cost:0.02
         (fun (key, leaves) -> (key, Merkle.root (Merkle.of_leaves leaves)))
         bindings
       |> List.fold_left (fun m (k, r) -> SMap.add k r m) SMap.empty

@@ -190,7 +190,11 @@ let verify_batch ?(pool = Pool.sequential) jobs =
     (fun i c -> if Option.is_none c then misses := i :: !misses)
     cached;
   let miss_idx = Array.of_list (List.rev !misses) in
-  let verified = Pool.map_array pool (fun i -> arr.(i).verify ()) miss_idx in
+  (* A miss runs one simulated SNARK verification plus the MH(proofdata)
+     recomputation — ~0.1 ms with production-shaped proofdata. *)
+  let verified =
+    Pool.map_array pool ~cost:0.1 (fun i -> arr.(i).verify ()) miss_idx
+  in
   Array.iteri
     (fun k i ->
       cached.(i) <- Some verified.(k);

@@ -5,17 +5,50 @@
     independent, so they can be executed by real domains instead of the
     accounted simulation the repository used to ship. The same pool
     drives batch Merkle/SMT tree builds ({!Merkle.of_leaves},
-    {!Smt.of_bindings}) and the per-level merges of the recursive proof
-    tree ([Zen_snark.Recursive.fold_balanced]).
+    {!Smt.of_bindings}), the per-level merges of the recursive proof
+    tree ([Zen_snark.Recursive.fold_balanced]) and mainchain batch
+    verification ([Zendoo.Verifier.verify_batch]).
 
-    {2 Execution model}
+    {2 Lifecycle: one shared pool per process}
 
-    [create ~domains:d] spawns [d - 1] persistent worker domains that
-    sleep on a [Mutex]/[Condition]-protected task queue. Each parallel
-    operation splits its index space into chunks and lets every
-    participant — the spawned helpers {e and the calling domain} — claim
-    chunks from a shared atomic counter (dynamic work stealing). The
-    caller always participates, so:
+    Spawning a domain costs milliseconds and a per-domain runtime; a
+    {e parallel operation} on an already-running pool costs
+    microseconds. The API is shaped around that asymmetry:
+
+    - {!get} / {!shared} return {b process-wide persistent pools} — one
+      per domain count, spawned on first use, reused by every workload,
+      joined once at process exit (an [at_exit] hook calls
+      {!shutdown_shared}). This is what the CLI, the harness, the
+      benches and the tests use.
+    - {!create} / {!shutdown} manage a {b transient} pool whose worker
+      lifetime the caller bounds explicitly. Use them only when the
+      shared registry is wrong (a test exercising shutdown semantics, a
+      host that must reclaim the domains early).
+
+    Per-workload pool churn — the old [with_pool]-around-every-operation
+    pattern — is exactly what made multi-domain runs {e slower} than
+    sequential once per-prove work dropped to milliseconds; don't bring
+    it back. Spawned workers get a larger minor heap ([Gc.set] at
+    startup) so allocation-heavy proving stays domain-local instead of
+    contending in the shared major heap.
+
+    {2 Granularity: cost-hinted adaptive chunking}
+
+    Every parallel operation splits its index space into chunks and
+    lets every participant — the spawned helpers {e and the calling
+    domain} — claim chunks from a shared atomic counter (dynamic work
+    stealing). Pass [?cost], the estimated milliseconds one index
+    costs, and the chunk size is chosen so each chunk carries enough
+    work (~0.5 ms) to amortize synchronization while still leaving a
+    few chunks per domain for stealing; operations too small to be
+    worth fanning out run inline in the caller, untouched by the
+    queue. [?chunk] overrides the computed size exactly; with neither,
+    the index space splits into 8 chunks per domain. Granularity
+    decisions are observable: [pool.chunks], [pool.chunk.items],
+    [pool.steals], [pool.ops.inline]/[.fanned] and
+    [pool.worker.busy_us]/[.idle_us] in the [Zen_obs] registry.
+
+    The caller always participates, so:
 
     - [domains = 1] spawns no domains and runs the exact sequential
       code path;
@@ -25,12 +58,14 @@
 
     {2 Determinism discipline}
 
-    A parallel operation computes the same function at the same indices
-    as its sequential counterpart and writes each result to a fixed
-    slot, so for {b pure} per-index functions the output is bit-identical
-    for every domain count. Callers must not close over shared mutable
-    state; in particular each task must draw randomness from its own
-    pre-seeded generator (see {!Rng.derive} for the discipline). *)
+    Chunking, stealing and the shared registry affect {e scheduling
+    only}. A parallel operation computes the same function at the same
+    indices as its sequential counterpart and writes each result to a
+    fixed slot, so for {b pure} per-index functions the output is
+    bit-identical for every domain count, every chunk size and every
+    cost hint. Callers must not close over shared mutable state; in
+    particular each task must draw randomness from its own pre-seeded
+    generator (see {!Rng.derive} for the discipline). *)
 
 type t
 (** A pool handle. Values of type [t] are safe to share across domains;
@@ -42,21 +77,45 @@ val sequential : t
     runs in the caller, on the plain sequential code path. This is the
     default everywhere a [?pool] argument is offered. *)
 
-val create : domains:int -> t
-(** [create ~domains] spawns [domains - 1] worker domains (so [domains]
-    is the total parallelism including the caller). Raises
-    [Invalid_argument] if [domains < 1]. Pools are cheap but not free
-    (~a domain spawn each): create one per workload, not per call, and
-    release it with {!shutdown}. *)
+val get : domains:int -> t
+(** [get ~domains] returns the process-wide persistent pool with that
+    total parallelism, spawning it on first use and reusing it on every
+    later call ([get ~domains:1] is {!sequential}). Registry pools live
+    until process exit ({!shutdown_shared} runs from [at_exit]); a
+    registry pool that was shut down by hand is replaced by a fresh one
+    on the next [get]. Raises [Invalid_argument] if [domains < 1]. *)
+
+val shared : unit -> t
+(** [shared ()] is [get ~domains:(recommended_domains ())] — the pool
+    sized to the hardware, shared by the whole process. *)
+
+val shutdown_shared : unit -> unit
+(** Shuts down and joins every registry pool. Runs automatically at
+    process exit; call it earlier only to reclaim the worker domains.
+    Subsequent {!get}/{!shared} calls spawn fresh pools. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
-(** [with_pool f] runs [f] with a fresh pool and always shuts it down.
-    [domains] defaults to {!recommended_domains}[ ()]. *)
+(** [with_pool f] runs [f] with the {e shared} registry pool for
+    [domains] (default {!recommended_domains}[ ()]) — it borrows
+    {!get}'s pool rather than spawning one, and does {b not} shut it
+    down afterwards. Kept as the convenient scoped spelling; semantics
+    changed when the registry was introduced (it used to create and
+    destroy a pool per call, which is the churn the registry exists to
+    eliminate). *)
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] fresh worker domains (so
+    [domains] is the total parallelism including the caller) {e outside}
+    the shared registry. A spawn costs milliseconds — this is {b not}
+    cheap and must not sit on a per-operation or per-workload path;
+    prefer {!get}. The caller owns the result and must release it with
+    {!shutdown}. Raises [Invalid_argument] if [domains < 1]. *)
 
 val shutdown : t -> unit
 (** Signals the workers to exit once the queue drains and joins them.
     Idempotent. Operations issued after shutdown still complete,
-    executed entirely by the caller. *)
+    executed entirely by the caller (sequential degradation, not an
+    error). *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism
@@ -65,21 +124,24 @@ val recommended_domains : unit -> int
 val domains : t -> int
 (** Total parallelism of the pool, including the calling domain. *)
 
-val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+val parallel_for : t -> ?chunk:int -> ?cost:float -> n:int -> (int -> unit) -> unit
 (** [parallel_for t ~n body] runs [body i] for every [i] in [[0, n)],
-    partitioned into chunks of [chunk] indices (default
-    [max 1 (n / (domains * 8))]) claimed dynamically by the
-    participants. [body] must be safe to run concurrently at distinct
-    indices. If any [body i] raises, one such exception is re-raised in
-    the caller after the index space is drained; with [domains = 1] the
-    exception propagates directly from the failing index. *)
+    partitioned into chunks claimed dynamically by the participants.
+    [cost] is the estimated milliseconds one call of [body] takes and
+    drives the adaptive chunk size (see the module preamble); [chunk]
+    overrides it with an exact size; with neither, chunks default to
+    [max 1 (n / (domains * 8))]. [body] must be safe to run
+    concurrently at distinct indices. If any [body i] raises, one such
+    exception is re-raised in the caller after the index space is
+    drained; with [domains = 1] the exception propagates directly from
+    the failing index. *)
 
-val init_array : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+val init_array : t -> ?chunk:int -> ?cost:float -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. For pure [f] the result is bit-identical to
-    [Array.init] for every domain count. *)
+    [Array.init] for every domain count, chunk size and cost hint. *)
 
-val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : t -> ?chunk:int -> ?cost:float -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] (same contract as {!init_array}). *)
 
-val map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : t -> ?chunk:int -> ?cost:float -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] (same contract as {!init_array}). *)

@@ -142,7 +142,16 @@ let of_bindings ?(pool = Pool.sequential) ~depth bindings =
                 groups.(g) <- (p, v) :: groups.(g))
               (List.rev sorted);
             let subs =
-              Pool.init_array pool ~chunk:1 (1 lsl k) (fun g ->
+              (* Estimated Poseidon work per subtree (bindings spread
+                 over 2^k groups, ~9 µs per hash, sub_h levels each):
+                 dense builds keep one chunk per subtree for stealing,
+                 sparse ones batch several near-empty subtrees. *)
+              let per_group_ms =
+                float_of_int (List.length sorted * max 1 sub_h)
+                *. 0.009
+                /. float_of_int (1 lsl k)
+              in
+              Pool.init_array pool ~cost:per_group_ms (1 lsl k) (fun g ->
                   build_sub sub_h (g lsl sub_h) groups.(g))
             in
             let rec combine h level =

@@ -86,7 +86,10 @@ let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
      Randomness for re-dispatch after a crash comes from [Rng.derive]
      per task index, so retries are reproducible and domain-safe. *)
   let results =
-    Pool.init_array pool ~chunk:1 (Array.length snaps) (fun index ->
+    (* A template-cached base prove is ~2.5 ms: the cost hint keeps a
+       few chunks per domain for crash-retry skew while batching the
+       epoch enough that chunk sync stays amortized. *)
+    Pool.init_array pool ~cost:2.5 (Array.length snaps) (fun index ->
         let state, step = snaps.(index) in
         let task_rng = Rng.derive rng index in
         (* Re-dispatch: a crashed worker never returns its task, so the
@@ -193,7 +196,8 @@ let merge_all ?(pool = Pool.sequential) _family rsys proofs =
      mapped in parallel — then the log-depth merge tree parallelizes
      per level inside [fold_balanced]. *)
   let wrapped =
-    Pool.map_array pool ~chunk:1
+    (* Wrapping re-verifies one base proof (~10 µs): batch coarsely. *)
+    Pool.map_array pool ~cost:0.01
       (fun tp ->
         Recursive.of_base rsys ~vk:tp.vk ~s_from:tp.s_from ~s_to:tp.s_to
           ~extra:[||] tp.proof)

@@ -126,7 +126,10 @@ let fold_balanced ?(pool = Pool.sequential) sys = function
       else begin
         let pairs = n / 2 in
         let merged =
-          Pool.init_array pool ~chunk:1 pairs (fun i ->
+          (* A merge proves the small fixed merge circuit (~2.5 ms):
+             heavy enough that near-singleton chunks with stealing are
+             the right granularity, which the cost hint encodes. *)
+          Pool.init_array pool ~cost:2.5 pairs (fun i ->
               merge sys arr.(2 * i) arr.((2 * i) + 1))
         in
         (* Report the first error in pair order, as the sequential pass

@@ -81,6 +81,80 @@ let test_exception_propagates () =
   let r = Pool.map_array pool ~chunk:1 (fun x -> x + 1) [| 1; 2 |] in
   checkb "pool usable after overflow" true (r = [| 2; 3 |])
 
+(* ---- the shared registry ---- *)
+
+let test_shared_pool_reuse () =
+  (* One persistent pool per domain count: consecutive gets return the
+     same spawned pool, and with_pool borrows it instead of spawning. *)
+  let p = Pool.get ~domains:3 in
+  checki "domains" 3 (Pool.domains p);
+  checkb "get is idempotent" true (p == Pool.get ~domains:3);
+  checkb "with_pool borrows the registry pool" true
+    (Pool.with_pool ~domains:3 (fun q -> q == p));
+  checkb "get ~domains:1 is the sequential handle" true
+    (Pool.get ~domains:1 == Pool.sequential);
+  (* the same pool serves consecutive operations of different shapes *)
+  let a = Pool.init_array p 100 (fun i -> i * 3) in
+  let b = Pool.map_array p (fun x -> x + 1) a in
+  let c = Pool.map_list p string_of_int [ 7; 8; 9 ] in
+  checkb "first op" true (a = Array.init 100 (fun i -> i * 3));
+  checkb "second op" true (b = Array.init 100 (fun i -> (i * 3) + 1));
+  checkb "third op" true (c = [ "7"; "8"; "9" ])
+
+let test_nested_parallel_shared () =
+  (* Nested operations on the *same* shared pool must neither deadlock
+     nor change results: the inner operation's caller (a worker or the
+     outer caller) can always drain its own chunk counter alone. *)
+  let p = Pool.get ~domains:4 in
+  let outer = 6 and inner = 40 in
+  let expected =
+    Array.init outer (fun i ->
+        Array.init inner (fun j -> (i * 1000) + (j * j)))
+  in
+  let got = Array.make outer [||] in
+  Pool.parallel_for p ~chunk:1 ~n:outer (fun i ->
+      got.(i) <- Pool.init_array p ~chunk:4 inner (fun j -> (i * 1000) + (j * j)));
+  checkb "nested parallel on the shared pool is correct" true (got = expected)
+
+let test_shutdown_then_reuse () =
+  (* Shutting a registry pool down by hand degrades it to caller-only
+     execution (correct, just sequential); the registry replaces it on
+     the next get. *)
+  let p = Pool.get ~domains:4 in
+  Pool.shutdown p;
+  let r = Pool.map_array p ~chunk:1 (fun x -> x * x) [| 1; 2; 3 |] in
+  checkb "shut-down pool still completes operations" true (r = [| 1; 4; 9 |]);
+  let p' = Pool.get ~domains:4 in
+  checkb "registry replaces a shut-down pool" true (not (p' == p));
+  let r' = Pool.init_array p' 64 (fun i -> i + 1) in
+  checkb "replacement pool works" true (r' = Array.init 64 (fun i -> i + 1))
+
+(* Chunk batching is scheduling only: for any (n, domains, granularity)
+   — explicit chunk size or cost hint, including hints coarse enough to
+   force the inline path — the result is bit-identical to Array.init. *)
+let prop_chunking_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"batched = sequential bit-identical" ~count:30
+       QCheck2.Gen.(
+         tup4 (int_range 0 200) (int_range 1 5)
+           (oneof
+              [
+                map (fun c -> `Chunk c) (int_range 1 64);
+                map (fun ms -> `Cost (float_of_int ms /. 100.))
+                  (int_range 0 400);
+              ])
+           (int_range 0 1000))
+       (fun (n, domains, gran, salt) ->
+         let f i = Hash.to_hex (Hash.of_string (Printf.sprintf "%d-%d" salt i)) in
+         let expected = Array.init n f in
+         let pool = Pool.get ~domains in
+         let got =
+           match gran with
+           | `Chunk c -> Pool.init_array pool ~chunk:c n f
+           | `Cost ms -> Pool.init_array pool ~cost:ms n f
+         in
+         got = expected))
+
 (* ---- determinism of the parallel builders ---- *)
 
 let test_merkle_parallel_identical () =
@@ -219,6 +293,12 @@ let suite =
       Alcotest.test_case "more domains than tasks" `Quick
         test_more_domains_than_tasks;
       Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "shared pool reuse" `Quick test_shared_pool_reuse;
+      Alcotest.test_case "nested parallel on shared pool" `Quick
+        test_nested_parallel_shared;
+      Alcotest.test_case "shutdown then reuse degrades" `Quick
+        test_shutdown_then_reuse;
+      prop_chunking_deterministic;
       Alcotest.test_case "merkle parallel identical" `Quick
         test_merkle_parallel_identical;
       Alcotest.test_case "smt batch identical" `Quick test_smt_batch_identical;
