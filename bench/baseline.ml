@@ -1,0 +1,197 @@
+(* Perf-regression sentinel: compare the duration cells of the current
+   run's tables against a committed zendoo-bench/1 baseline document.
+
+   Matching is structural: experiment id, table position, row position
+   (sanity-checked against the row's first cell — tables are generated
+   with fixed row sets, so positions are stable), column name. Only
+   cells that parse as pp_seconds durations ("1.23 ms") participate;
+   counters, fingerprints and "1.07x" speedup cells are ignored. Only
+   slower-than-baseline counts as a regression, and only past both the
+   relative tolerance and an absolute floor, so microsecond jitter on
+   fast rows never trips the check. *)
+
+open Zen_obs
+
+type entry = {
+  exp : string;
+  table : int;
+  row : string;
+  col : string;
+  base_s : float;
+  cur_s : float;
+  ratio : float; (* current / baseline *)
+  regressed : bool;
+}
+
+let str_cell = function Json.Str s -> s | _ -> ""
+
+(* "1.23 ms"-style cells, exactly as Util.pp_seconds prints them. *)
+let parse_duration cell =
+  match String.split_on_char ' ' (String.trim cell) with
+  | [ num; unit_ ] -> (
+    match (float_of_string_opt num, unit_) with
+    | Some v, "ns" -> Some (v *. 1e-9)
+    | Some v, "us" -> Some (v *. 1e-6)
+    | Some v, "ms" -> Some (v *. 1e-3)
+    | Some v, "s" -> Some v
+    | _ -> None)
+  | _ -> None
+
+(* A zendoo-bench/1 document as (id, (columns, rows) list) pairs. *)
+let tables_of doc =
+  let arr field j =
+    match Json.member field j with Some a -> Json.to_list a | None -> []
+  in
+  List.filter_map
+    (fun e ->
+      match Json.member "id" e with
+      | Some (Json.Str id) ->
+        let tables =
+          List.map
+            (fun tbl ->
+              ( List.map str_cell (arr "columns" tbl),
+                List.map
+                  (fun r -> List.map str_cell (Json.to_list r))
+                  (arr "rows" tbl) ))
+            (arr "tables" e)
+        in
+        Some (id, tables)
+      | _ -> None)
+    (arr "experiments" doc)
+
+let experiment_ids doc = List.map fst (tables_of doc)
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok doc -> Ok doc
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let rec zip_index i xs ys =
+  match (xs, ys) with
+  | x :: xs, y :: ys -> (i, x, y) :: zip_index (i + 1) xs ys
+  | _ -> []
+
+let compare_docs ?(abs_floor_s = 0.005) ~tolerance ~baseline ~current () =
+  let cur_tables = tables_of current in
+  List.concat_map
+    (fun (id, btables) ->
+      match List.assoc_opt id cur_tables with
+      | None -> [] (* experiment not re-run — nothing to compare *)
+      | Some ctables ->
+        List.concat_map
+          (fun (ti, (bcols, brows), (_ccols, crows)) ->
+            List.concat_map
+              (fun (_, brow, crow) ->
+                let key = match brow with k :: _ -> k | [] -> "" in
+                if key <> (match crow with k :: _ -> k | [] -> "") then []
+                else
+                  List.filter_map
+                    (fun (ci, bcell, ccell) ->
+                      match (parse_duration bcell, parse_duration ccell) with
+                      | Some base_s, Some cur_s ->
+                        let col =
+                          match List.nth_opt bcols ci with
+                          | Some c -> c
+                          | None -> string_of_int ci
+                        in
+                        Some
+                          {
+                            exp = id;
+                            table = ti;
+                            row = key;
+                            col;
+                            base_s;
+                            cur_s;
+                            ratio =
+                              (if base_s > 0. then cur_s /. base_s else 1.);
+                            regressed =
+                              cur_s -. base_s > abs_floor_s
+                              && cur_s > base_s *. (1. +. tolerance);
+                          }
+                      | _ -> None)
+                    (zip_index 0 brow crow))
+              (zip_index 0 brows crows))
+          (zip_index 0 btables ctables))
+    (tables_of baseline)
+
+let regressions entries = List.filter (fun e -> e.regressed) entries
+
+let print_delta ~tolerance entries =
+  Printf.printf "\n=== baseline delta (tolerance +%.0f%%) ===\n"
+    (tolerance *. 100.);
+  if entries = [] then
+    print_endline "(no comparable duration cells — id/table mismatch?)"
+  else begin
+    let rows =
+      List.map
+        (fun e ->
+          [
+            e.exp;
+            string_of_int e.table;
+            e.row;
+            e.col;
+            Util.pp_seconds e.base_s;
+            Util.pp_seconds e.cur_s;
+            Printf.sprintf "%+.0f%%" ((e.ratio -. 1.) *. 100.);
+            (if e.regressed then "REGRESSED" else "ok");
+          ])
+        entries
+    in
+    let columns =
+      [ "experiment"; "table"; "row"; "column"; "baseline"; "current";
+        "delta"; "verdict" ]
+    in
+    let widths =
+      List.mapi
+        (fun i c ->
+          List.fold_left
+            (fun w row -> max w (String.length (List.nth row i)))
+            (String.length c) rows)
+        columns
+    in
+    let print_row cells =
+      List.iteri
+        (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+        cells;
+      print_newline ()
+    in
+    print_row columns;
+    print_row (List.map (fun w -> String.make w '-') widths);
+    List.iter print_row rows;
+    let bad = List.length (regressions entries) in
+    if bad = 0 then
+      Printf.printf "\nall %d duration cells within tolerance\n"
+        (List.length entries)
+    else
+      Printf.printf "\n%d of %d duration cells regressed\n" bad
+        (List.length entries)
+  end
+
+let delta_json ~tolerance entries =
+  Json.Obj
+    [
+      ("schema", Json.Str "zendoo-bench-delta/1");
+      ("tolerance", Json.Float tolerance);
+      ("compared", Json.Int (List.length entries));
+      ("regressions", Json.Int (List.length (regressions entries)));
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("experiment", Json.Str e.exp);
+                   ("table", Json.Int e.table);
+                   ("row", Json.Str e.row);
+                   ("column", Json.Str e.col);
+                   ("baseline_s", Json.Float e.base_s);
+                   ("current_s", Json.Float e.cur_s);
+                   ("ratio", Json.Float e.ratio);
+                   ("regressed", Json.Bool e.regressed);
+                 ])
+             entries) );
+    ]

@@ -793,6 +793,7 @@ let e13_prover_pool () =
   in
   let run pool =
     let t0 = Unix.gettimeofday () in
+    Util.handicap_pause ();
     let proofs, stats =
       Result.get_ok
         (Prover_pool.prove_epoch ~pool family ~initial:st ~steps
@@ -1024,6 +1025,7 @@ let e15_mc_scale () =
       Zen_obs.Registry.with_enabled (fun () ->
           let t0 = Unix.gettimeofday () in
           for _ = 1 to 3 do
+            Util.handicap_pause ();
             replays :=
               Result.is_ok (Chain_state.apply_block ~pool parent_state block)
               :: !replays
@@ -1140,6 +1142,7 @@ let e16_template () =
     in
     let fin0, hit0, mis0 = snap () in
     let t0 = Unix.gettimeofday () in
+    Util.handicap_pause ();
     let proofs, _ =
       match
         Prover_pool.prove_epoch ~pool family ~initial:st ~steps

@@ -10,21 +10,77 @@
    --json FILE writes every experiment table that ran as a
    "zendoo-bench/1" JSON document (schema in EXPERIMENTS.md); the
    bechamel micro section prints through its own reporter and is not
-   included. *)
+   included.
+
+   Perf-regression sentinel:
+     dune exec bench/main.exe -- --baseline BENCH_prove.json --check
+
+   --baseline FILE compares this run's duration cells against a
+   committed zendoo-bench/1 document and prints a delta table; when no
+   experiments are named, exactly the baseline's experiments run.
+   --tolerance PCT sets the allowed slowdown (default 50); --check
+   exits non-zero if any cell regressed past it; --delta-out FILE
+   writes the delta table as "zendoo-bench-delta/1" JSON. *)
 
 let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  let rec split json acc = function
-    | [ "--json" ] ->
-      prerr_endline "error: --json requires a FILE argument";
-      exit 2
-    | "--json" :: path :: rest -> split (Some path) acc rest
-    | x :: rest -> split json (x :: acc) rest
-    | [] -> (json, List.rev acc)
+  let usage_fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("error: " ^ s);
+        exit 2)
+      fmt
   in
-  let json, requested = split None [] args in
+  let json = ref None
+  and baseline = ref None
+  and check = ref false
+  and tolerance = ref 0.5
+  and delta_out = ref None in
+  let rec split acc = function
+    | [ "--json" ] -> usage_fail "--json requires a FILE argument"
+    | "--json" :: path :: rest ->
+      json := Some path;
+      split acc rest
+    | [ "--baseline" ] -> usage_fail "--baseline requires a FILE argument"
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
+      split acc rest
+    | "--check" :: rest ->
+      check := true;
+      split acc rest
+    | [ "--tolerance" ] -> usage_fail "--tolerance requires a PCT argument"
+    | "--tolerance" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some p when p >= 0. ->
+        tolerance := p /. 100.;
+        split acc rest
+      | _ -> usage_fail "--tolerance wants a non-negative percentage")
+    | [ "--delta-out" ] -> usage_fail "--delta-out requires a FILE argument"
+    | "--delta-out" :: path :: rest ->
+      delta_out := Some path;
+      split acc rest
+    | x :: rest -> split (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let requested = split [] args in
+  let baseline_doc =
+    Option.map
+      (fun path ->
+        match Baseline.load path with
+        | Ok doc -> doc
+        | Error e -> usage_fail "cannot load baseline: %s" e)
+      !baseline
+  in
+  (* With a baseline and no explicit selection, run exactly what the
+     baseline covers — that is what makes `--baseline F --check` a
+     self-contained sentinel invocation. *)
+  let requested =
+    match (requested, baseline_doc) with
+    | [], Some doc -> Baseline.experiment_ids doc
+    | r, _ -> r
+  in
   let want name = requested = [] || List.mem name requested in
   List.iter
     (fun (name, run) ->
@@ -39,6 +95,28 @@ let () =
     (fun path ->
       Util.write_json path;
       Printf.printf "\n(tables written to %s)\n" path)
-    json;
+    !json;
+  let failed =
+    match baseline_doc with
+    | None -> false
+    | Some doc ->
+      let entries =
+        Baseline.compare_docs ~tolerance:!tolerance ~baseline:doc
+          ~current:(Util.document ()) ()
+      in
+      Baseline.print_delta ~tolerance:!tolerance entries;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc
+            (Zen_obs.Json.to_string
+               (Baseline.delta_json ~tolerance:!tolerance entries));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "(delta report written to %s)\n" path)
+        !delta_out;
+      Baseline.regressions entries <> []
+  in
   print_newline ();
-  print_endline "(benchmarks complete; see EXPERIMENTS.md for interpretation)"
+  print_endline "(benchmarks complete; see EXPERIMENTS.md for interpretation)";
+  if failed && !check then exit 1

@@ -57,11 +57,10 @@ let begin_experiment id =
 
 let end_experiment () = current := None
 
-let write_json path =
+let document () =
   let open Zen_obs in
   let strs l = Json.Arr (List.map (fun s -> Json.Str s) l) in
-  let doc =
-    Json.Obj
+  Json.Obj
       [
         ("schema", Json.Str "zendoo-bench/1");
         ( "experiments",
@@ -87,12 +86,31 @@ let write_json path =
                      ("notes", Json.Arr (List.rev_map (fun s -> Json.Str s) c.notes));
                    ])
                !all_captured) );
-      ]
-  in
+    ]
+
+let write_json path =
   let oc = open_out path in
-  output_string oc (Json.to_string doc);
+  output_string oc (Zen_obs.Json.to_string (document ()));
   output_char oc '\n';
   close_out oc
+
+(* ---- regression-sentinel handicap ----
+
+   ZENDOO_BENCH_HANDICAP_MS=N inserts an artificial N-millisecond pause
+   into each timed section that calls [handicap_pause] — a negative
+   control for `--baseline --check`: with the handicap set the check
+   MUST fail, proving the sentinel actually bites. Unset (the normal
+   case) the pause is a single float compare. *)
+
+let handicap_s =
+  match Sys.getenv_opt "ZENDOO_BENCH_HANDICAP_MS" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some ms when ms > 0. -> ms /. 1000.
+    | _ -> 0.)
+  | None -> 0.
+
+let handicap_pause () = if handicap_s > 0. then Unix.sleepf handicap_s
 
 let header title description =
   (match !current with

@@ -21,12 +21,18 @@ let resolve_domains d = if d <= 0 then Pool.recommended_domains () else d
 (* ---- observability plumbing ----
 
    [--metrics] prints the human summary on stdout after the run;
-   [--trace-out FILE] writes the Chrome trace. Either one switches the
-   registry on for the whole run; with neither, recording stays a
-   single disabled-branch per site. *)
+   [--trace-out FILE] writes the Chrome trace; [--report FILE] writes
+   the zen-report/1 analysis (critical path, self times, quantiles)
+   and prints its human rendering. Any one switches the registry on for
+   the whole run; with none, recording stays a single disabled-branch
+   per site. *)
 
-let with_obs ~metrics ~trace_out f =
-  let wanted = metrics || trace_out <> None in
+(* Extra top-level fields for the zen-report/1 document — the command
+   body fills this in before returning (worker costs, scoreboard). *)
+let report_extras : (string * Zen_obs.Json.t) list ref = ref []
+
+let with_obs ~metrics ~trace_out ~report f =
+  let wanted = metrics || trace_out <> None || report <> None in
   if wanted then Zen_obs.Registry.enable ();
   let code = f () in
   if wanted then begin
@@ -39,6 +45,16 @@ let with_obs ~metrics ~trace_out f =
           "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n"
           path)
       trace_out;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Zen_obs.Report.to_json_string ~extras:!report_extras ());
+        output_char oc '\n';
+        close_out oc;
+        print_string (Zen_obs.Report.human ());
+        Printf.eprintf "report written to %s (zen-report/1)\n" path)
+      report;
     if metrics then print_string (Zen_obs.Export.summary ())
   end;
   code
@@ -62,8 +78,8 @@ let register_sidechains h ~n ~family ~epoch_len ~submit_len =
   go 1 []
 
 let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
-    no_cache no_template_cache metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun () ->
+    no_cache no_template_cache metrics trace_out report =
+  with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
     Printf.eprintf "error: --sidechains must be at least 1\n";
@@ -116,6 +132,7 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
       Printf.printf "verify cache: %d hits | %d misses | enabled %b\n"
         st.Verifier.Cache.hits st.Verifier.Cache.misses
         (Verifier.Cache.enabled ());
+      report_extras := [ ("scoreboard", Zen_sim.Harness.scoreboard_json h) ];
       0
   end
 
@@ -166,8 +183,8 @@ let keys mst_depth =
 (* ---- prove ---- *)
 
 let prove steps domains workers mst_depth seed no_template_cache metrics
-    trace_out =
-  with_obs ~metrics ~trace_out @@ fun () ->
+    trace_out report =
+  with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   let params = { Params.default with mst_depth } in
   if steps < 1 then begin
@@ -240,6 +257,8 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
              (List.map
                 (fun (w, r) -> Printf.sprintf "w%d:%d" w r)
                 stats.Prover_pool.rewards));
+        report_extras :=
+          [ ("workers", Prover_pool.worker_costs_json stats) ];
         0))
 
 (* ---- chaos ---- *)
@@ -248,8 +267,8 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
    function of (seed, plan): no wall-clock values, no machine state.
    CI runs the command twice and byte-compares the logs. *)
 let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
-    plan_str log_out no_template_cache metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun () ->
+    plan_str log_out no_template_cache metrics trace_out report =
+  with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
     Printf.eprintf "error: --sidechains must be at least 1\n";
@@ -378,6 +397,7 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
           output_string oc (Buffer.contents buf);
           close_out oc)
         log_out;
+      report_extras := [ ("scoreboard", Zen_sim.Harness.scoreboard_json h) ];
       0)
 
 (* ---- cmdliner wiring ---- *)
@@ -436,6 +456,17 @@ let trace_out_t =
           "Write a Chrome trace-event JSON file of the run (open in \
            chrome://tracing or ui.perfetto.dev).")
 
+let report_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a zen-report/1 JSON analysis of the run — critical path, \
+           per-span self times, latency percentiles, worker costs and (for \
+           world runs) the certificate scoreboard — and print its human \
+           rendering.")
+
 let simulate_cmd =
   let ticks =
     Arg.(value & opt int 16 & info [ "ticks" ] ~doc:"Simulation rounds.")
@@ -457,7 +488,7 @@ let simulate_cmd =
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
       $ sidechains_t $ domains_t $ no_cache_t $ no_template_cache_t $ metrics_t
-      $ trace_out_t)
+      $ trace_out_t $ report_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -497,7 +528,7 @@ let prove_cmd =
           wall-clock stats")
     Term.(
       const prove $ steps $ domains_t $ workers $ depth $ seed
-      $ no_template_cache_t $ metrics_t $ trace_out_t)
+      $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let chaos_cmd =
   let seed =
@@ -557,7 +588,7 @@ let chaos_cmd =
     Term.(
       const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ sidechains_t
       $ domains_t $ intensity $ plan $ log_out $ no_template_cache_t
-      $ metrics_t $ trace_out_t)
+      $ metrics_t $ trace_out_t $ report_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in

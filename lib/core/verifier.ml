@@ -18,6 +18,11 @@ let obs_evict =
   Zen_obs.Counter.make ~help:"MC verification-cache evictions"
     "mc.verify.cache.eviction"
 
+let obs_verify_s =
+  Zen_obs.Histogram.make ~help:"per-proof MC verification latency (cache misses)"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-5 ~factor:4. ~n:8)
+    "mc.verify.seconds"
+
 module Cache = struct
   type stats = { hits : int; misses : int; insertions : int; evictions : int }
 
@@ -178,7 +183,7 @@ let run_job j =
   match Cache.find j.key with
   | Some v -> v
   | None ->
-    let v = j.verify () in
+    let v = Zen_obs.Histogram.time obs_verify_s j.verify in
     Cache.store j.key v;
     v
 
@@ -193,7 +198,9 @@ let verify_batch ?(pool = Pool.sequential) jobs =
   (* A miss runs one simulated SNARK verification plus the MH(proofdata)
      recomputation — ~0.1 ms with production-shaped proofdata. *)
   let verified =
-    Pool.map_array pool ~cost:0.1 (fun i -> arr.(i).verify ()) miss_idx
+    Pool.map_array pool ~cost:0.1
+      (fun i -> Zen_obs.Histogram.time obs_verify_s arr.(i).verify)
+      miss_idx
   in
   Array.iteri
     (fun k i ->

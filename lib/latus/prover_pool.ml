@@ -14,6 +14,13 @@ type task_proof = {
   seconds : float;
 }
 
+type worker_cost = {
+  wc_worker : int;
+  busy_s : float;
+  wc_proofs : int;
+  wc_retries : int;
+}
+
 type stats = {
   tasks : int;
   workers : int;
@@ -23,12 +30,19 @@ type stats = {
   concurrency : float;
   retries : int;
   rewards : (int * int) list;
+  worker_costs : worker_cost list;
 }
 
 let reassignments =
   Zen_obs.Counter.make
     ~help:"Prover tasks re-dispatched away from a crashed worker"
     "latus.prover.reassignments"
+
+let prove_step_s =
+  Zen_obs.Histogram.make
+    ~help:"per-base-proof proving latency (after any Slow-fault inflation)"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-4 ~factor:4. ~n:8)
+    "latus.prove_step.seconds"
 
 (* Swappable clock: tests install [Zen_obs.Clock.deterministic] to make
    the per-task [seconds] and [wall] fields reproducible. *)
@@ -141,6 +155,7 @@ let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
                   | Some (Slow f) when f > 1 -> seconds *. float_of_int f
                   | _ -> seconds
                 in
+                Zen_obs.Histogram.observe prove_step_s seconds;
                 Ok
                   {
                     index;
@@ -167,10 +182,15 @@ let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
       results (Ok [])
   in
   let rewards = Array.make workers 0 in
+  let busy = Array.make workers 0.0 in
+  let worker_retries = Array.make workers 0 in
   let retries, total_work =
     List.fold_left
       (fun (retries, acc) tp ->
         rewards.(tp.worker) <- rewards.(tp.worker) + 1;
+        busy.(tp.worker) <- busy.(tp.worker) +. tp.seconds;
+        worker_retries.(tp.worker) <-
+          worker_retries.(tp.worker) + tp.attempts - 1;
         (retries + tp.attempts - 1, acc +. tp.seconds))
       (0, 0.0) proofs
   in
@@ -185,7 +205,28 @@ let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
         concurrency = (if wall > 0.0 then total_work /. wall else 1.0);
         retries;
         rewards = Array.to_list rewards |> List.mapi (fun i r -> (i, r));
+        worker_costs =
+          List.init workers (fun w ->
+              {
+                wc_worker = w;
+                busy_s = busy.(w);
+                wc_proofs = rewards.(w);
+                wc_retries = worker_retries.(w);
+              });
       } )
+
+let worker_costs_json stats =
+  Zen_obs.Json.Arr
+    (List.map
+       (fun wc ->
+         Zen_obs.Json.Obj
+           [
+             ("worker", Zen_obs.Json.Int wc.wc_worker);
+             ("busy_s", Zen_obs.Json.Float wc.busy_s);
+             ("proofs", Zen_obs.Json.Int wc.wc_proofs);
+             ("retries", Zen_obs.Json.Int wc.wc_retries);
+           ])
+       stats.worker_costs)
 
 let merge_all ?(pool = Pool.sequential) _family rsys proofs =
   Zen_obs.Trace.with_span ~cat:"latus"

@@ -42,6 +42,17 @@ type task_proof = {
   seconds : float;  (** wall-clock spent proving this task *)
 }
 
+type worker_cost = {
+  wc_worker : int;  (** §5.4.1 party id *)
+  busy_s : float;
+      (** summed proving wall-clock of the tasks credited to this
+          worker (after any [Slow] inflation) *)
+  wc_proofs : int;  (** valid submissions, same as the reward count *)
+  wc_retries : int;
+      (** dispatch attempts burnt before the tasks this worker finally
+          proved landed on it (crashes elsewhere in the chain) *)
+}
+
 type stats = {
   tasks : int;
   workers : int;  (** incentive-layer parties tasks were dispatched to *)
@@ -59,6 +70,10 @@ type stats = {
   rewards : (int * int) list;
       (** worker id → valid submissions; only the worker whose proof
           actually verified is credited, so a crashed worker earns 0 *)
+  worker_costs : worker_cost list;
+      (** per-worker cost accounting, one entry per worker id in order —
+          busy time, credited proofs and retry attribution; the
+          [busy_s] values sum to [total_work] *)
 }
 
 val dispatch : rng:Rng.t -> workers:int -> tasks:int -> int array
@@ -94,6 +109,11 @@ val prove_epoch :
     [retries] and the timing fields change — so a certificate built
     from a faulted epoch is byte-identical to the clean one. All
     workers crashed, or a task exhausting its budget, is an [Error]. *)
+
+val worker_costs_json : stats -> Zen_obs.Json.t
+(** The {!stats.worker_costs} table as a JSON array
+    ([{worker, busy_s, proofs, retries}] per worker) — the shape the
+    CLI embeds under ["workers"] in a ["zen-report/1"] document. *)
 
 val merge_all :
   ?pool:Pool.t ->

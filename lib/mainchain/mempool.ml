@@ -8,6 +8,20 @@ type t = {
 
 let empty = { order = []; ids = Hash.Set.empty; count = 0 }
 
+let op_bounds = Zen_obs.Histogram.exponential_bounds ~lo:1e-7 ~factor:4. ~n:8
+
+let add_s =
+  Zen_obs.Histogram.make ~help:"mempool add-batch latency" ~bounds:op_bounds
+    "mempool.add.seconds"
+
+let remove_included_s =
+  Zen_obs.Histogram.make ~help:"mempool block-connect purge latency"
+    ~bounds:op_bounds "mempool.remove_included.seconds"
+
+let reinject_s =
+  Zen_obs.Histogram.make ~help:"mempool reorg-reinjection latency"
+    ~bounds:op_bounds "mempool.reinject.seconds"
+
 let add t tx =
   let id = Tx.txid tx in
   if Hash.Set.mem id t.ids then t
@@ -18,9 +32,11 @@ let add t tx =
       count = t.count + 1;
     }
 
-let add_list t txs = List.fold_left add t txs
+let add_list t txs =
+  Zen_obs.Histogram.time add_s @@ fun () -> List.fold_left add t txs
 
 let remove_included t (b : Block.t) =
+  Zen_obs.Histogram.time remove_included_s @@ fun () ->
   let included = Hash.Set.of_list (List.map Tx.txid b.txs) in
   let kept = ref 0 in
   let order =
@@ -54,6 +70,7 @@ let remove t id =
    return to the pool unless the new branch already carries them.
    Coinbases stay with their dead blocks. *)
 let reinject_disconnected t ~disconnected ~connected =
+  Zen_obs.Histogram.time reinject_s @@ fun () ->
   let included =
     List.fold_left
       (fun s (b : Block.t) ->

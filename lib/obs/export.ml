@@ -95,7 +95,8 @@ let summary () =
   in
   if histograms <> [] then begin
     Buffer.add_string buf "\nhistograms\n";
-    add_table buf ~columns:[ "name"; "count"; "sum"; "mean" ]
+    add_table buf
+      ~columns:[ "name"; "count"; "sum"; "mean"; "p50"; "p99"; "max" ]
       (List.map
          (fun h ->
            let s = Histogram.snapshot h in
@@ -105,6 +106,9 @@ let summary () =
              Printf.sprintf "%g" s.Histogram.sum;
              Printf.sprintf "%g"
                (s.Histogram.sum /. float_of_int (max 1 s.Histogram.count));
+             pp_seconds (Histogram.quantile s 0.5);
+             pp_seconds (Histogram.quantile s 0.99);
+             pp_seconds s.Histogram.max;
            ])
          histograms)
   end;
@@ -130,8 +134,11 @@ let summary () =
   let dropped = Trace.dropped () in
   if dropped > 0 then
     Buffer.add_string buf
-      (Printf.sprintf "\nWARNING: %d trace events dropped (buffer limit)\n"
-         dropped);
+      (Printf.sprintf
+         "\nWARNING: %d trace events dropped (per-domain buffer limit %d) \
+          — span stats above are partial; raise the cap with \
+          Trace.set_buffer_limit\n"
+         dropped (Trace.buffer_limit ()));
   Buffer.contents buf
 
 (* ---- stable JSON ---- *)
@@ -162,6 +169,10 @@ let json () =
             ("name", Json.Str (Histogram.name h));
             ("count", Json.Int s.Histogram.count);
             ("sum", Json.Float s.Histogram.sum);
+            ("max", Json.Float s.Histogram.max);
+            ("p50", Json.Float (Histogram.quantile s 0.5));
+            ("p90", Json.Float (Histogram.quantile s 0.9));
+            ("p99", Json.Float (Histogram.quantile s 0.99));
             ( "buckets",
               Json.Arr
                 (List.map

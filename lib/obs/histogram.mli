@@ -9,6 +9,7 @@ type t
 type snapshot = {
   count : int;
   sum : float;
+  max : float;  (** largest observed value; [0.] when [count = 0] *)
   buckets : (float * int) list;
       (** cumulative-free per-bucket counts, paired with the bucket's
           inclusive upper bound; the final bucket's bound is
@@ -27,8 +28,23 @@ val exponential_bounds : lo:float -> factor:float -> n:int -> float list
 
 val observe : t -> float -> unit
 
+val time : t -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()] and observes its {!Clock} wall-clock in [h]
+    (also on exception, before re-raising). With the registry disabled
+    this is [f ()] behind one branch — no clock reads. *)
+
 val snapshot : t -> snapshot
 (** Merged view across all domains. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0. <= q <= 1.]) from
+    the bucket counts: the bucket holding the rank-⌈q·count⌉
+    observation is found by a cumulative walk and the value linearly
+    interpolated inside its bounds. The estimate always falls in the
+    same bucket as the exact order statistic (the interpolation can
+    only be off within one bucket width), the top bucket is clamped to
+    the tracked {!snapshot.max}, and [quantile s 1. = s.max] given the
+    clamp. [0.] when the snapshot is empty. *)
 
 val name : t -> string
 val help : t -> string

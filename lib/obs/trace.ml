@@ -22,6 +22,7 @@ type cell = {
 
 let limit = Atomic.make 200_000
 let set_buffer_limit n = Atomic.set limit (max 0 n)
+let buffer_limit () = Atomic.get limit
 
 let buffers : cell Sharded.t =
   Sharded.create (fun () ->

@@ -45,3 +45,7 @@ val dropped : unit -> int
 val set_buffer_limit : int -> unit
 (** Per-domain event cap (default 200_000). Recording past the cap
     drops the new event and counts it in {!dropped}. *)
+
+val buffer_limit : unit -> int
+(** The current per-domain cap — exporters quote it next to
+    {!dropped} so a truncated report says how to raise the ceiling. *)

@@ -11,6 +11,18 @@ type sidechain = {
   mutable withhold_certs : bool;
 }
 
+(* Flight recorder: per-(sidechain, epoch) certificate outcomes, kept
+   as plain mutable counters so recording costs nothing on the tick
+   path and the scoreboard survives a disabled obs registry. *)
+type score = {
+  mutable submitted : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+  mutable withheld : int;
+  mutable cert_errors : int;
+}
+
 type t = {
   mutable chain : Chain.t;
   mutable mempool : Mempool.t;
@@ -24,6 +36,8 @@ type t = {
   faults : Faults.t option;
   mutable pending_certs : (int * Tx.t) list;
   mutable managed_certs : Hash.t list;
+  scores : (string * int, score) Hashtbl.t;
+  mutable reorgs : (int * int) list; (* (tick, depth), newest first *)
 }
 
 let sidechains t = List.rev t.sidechains_rev
@@ -47,7 +61,27 @@ let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?faults ~seed () =
     faults;
     pending_certs = [];
     managed_certs = [];
+    scores = Hashtbl.create 16;
+    reorgs = [];
   }
+
+let score_of t sc ~epoch =
+  let key = (sc.name, epoch) in
+  match Hashtbl.find_opt t.scores key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        submitted = 0;
+        dropped = 0;
+        delayed = 0;
+        duplicated = 0;
+        withheld = 0;
+        cert_errors = 0;
+      }
+    in
+    Hashtbl.add t.scores key s;
+    s
 
 (* The reorg path the seed ignored: when a side branch overtakes the
    tip, the abandoned branch's transactions must return to the mempool
@@ -78,6 +112,7 @@ let handle_outcome t = function
           b.txs)
       disconnected;
     let reinjected = Mempool.size t.mempool - before in
+    t.reorgs <- (t.time, depth) :: t.reorgs;
     Zen_obs.Trace.instant ~cat:"sim"
       ~args:
         [
@@ -180,6 +215,11 @@ let forward_transfer t sc ~receiver ~payback ~amount =
 
 let ticks = Zen_obs.Counter.make ~help:"Harness rounds executed" "sim.ticks"
 
+let tick_s =
+  Zen_obs.Histogram.make ~help:"harness tick latency (mine + forge + submit)"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-4 ~factor:4. ~n:8)
+    "sim.tick.seconds"
+
 let mempool_depth =
   Zen_obs.Gauge.make ~help:"Mainchain mempool depth after the last tick"
     "sim.mempool.depth"
@@ -269,22 +309,26 @@ let submit_certificate t sc =
   (* A certificate fault targets the epoch the node would certify
      next; [build_certificate] archives the epoch as a side effect, so
      Withhold must short-circuit before the build. *)
+  let epoch = Node.certificate_target sc.node ~mc:t.chain in
   let cert_fault =
     match t.faults with
     | None -> None
     | Some f ->
-      let epoch = Node.certificate_target sc.node ~mc:t.chain in
       Option.map (fun cf -> (f, epoch, cf)) (Faults.cert_fault f ~epoch)
   in
+  let score () = score_of t sc ~epoch in
   match cert_fault with
   | Some (f, epoch, Faults.Withhold) ->
     if Faults.fire f (Printf.sprintf "withhold@%d:%s" epoch sc.name) then begin
       Zen_obs.Counter.incr fault_injections;
+      (score ()).withheld <- (score ()).withheld + 1;
       logf t "fault: %s withholds certificate for epoch %d" sc.name epoch
     end
   | _ -> (
     match Node.build_certificate sc.node ~mc:t.chain with
-    | Error e -> logf t "%s certificate error: %s" sc.name e
+    | Error e ->
+      (score ()).cert_errors <- (score ()).cert_errors + 1;
+      logf t "%s certificate error: %s" sc.name e
     | Ok None -> ()
     | Ok (Some cert_tx) -> (
       (* Every harness-submitted certificate is managed: if the miner
@@ -302,11 +346,13 @@ let submit_certificate t sc =
       | Some (f, epoch, Faults.Drop) ->
         if Faults.fire f (Printf.sprintf "drop@%d:%s" epoch sc.name) then
           Zen_obs.Counter.incr fault_injections;
+        (score ()).dropped <- (score ()).dropped + 1;
         logf t "fault: %s certificate for epoch %d dropped" sc.name epoch
       | Some (f, epoch, Faults.Delay k) ->
         if Faults.fire f (Printf.sprintf "delay@%d:%s" epoch sc.name) then
           Zen_obs.Counter.incr fault_injections;
         manage ();
+        (score ()).delayed <- (score ()).delayed + 1;
         t.pending_certs <- t.pending_certs @ [ (t.time + k, cert_tx) ];
         logf t "fault: %s certificate for epoch %d delayed %d ticks" sc.name
           epoch k
@@ -316,6 +362,9 @@ let submit_certificate t sc =
         submit t cert_tx;
         logf t "%s submitted certificate" sc.name;
         manage ();
+        let s = score () in
+        s.submitted <- s.submitted + 1;
+        s.duplicated <- s.duplicated + n;
         for j = 1 to n do
           t.pending_certs <- t.pending_certs @ [ (t.time + j, cert_tx) ]
         done;
@@ -323,11 +372,13 @@ let submit_certificate t sc =
           epoch n
       | Some (_, _, Faults.Withhold) | None ->
         submit t cert_tx;
+        (score ()).submitted <- (score ()).submitted + 1;
         logf t "%s submitted certificate" sc.name))
 
 let tick t =
   Zen_obs.Counter.incr ticks;
   let tick_no = t.time + 1 in
+  Zen_obs.Histogram.time tick_s @@ fun () ->
   Zen_obs.Trace.with_span ~cat:"sim"
     ~args:[ ("time", string_of_int tick_no) ]
     "sim.tick"
@@ -362,3 +413,56 @@ let is_ceased t sc =
 
 let find_sidechain t name =
   List.find_opt (fun sc -> String.equal sc.name name) t.sidechains_rev
+
+let scoreboard_json t =
+  let open Zen_obs.Json in
+  let rows =
+    Hashtbl.fold (fun key s acc -> (key, s) :: acc) t.scores []
+    |> List.sort (fun ((n1, e1), _) ((n2, e2), _) ->
+           match String.compare n1 n2 with
+           | 0 -> Int.compare e1 e2
+           | c -> c)
+    |> List.map (fun ((name, epoch), s) ->
+           Obj
+             [
+               ("sidechain", Str name);
+               ("epoch", Int epoch);
+               ("submitted", Int s.submitted);
+               ("dropped", Int s.dropped);
+               ("delayed", Int s.delayed);
+               ("duplicated", Int s.duplicated);
+               ("withheld", Int s.withheld);
+               ("errors", Int s.cert_errors);
+             ])
+  in
+  let reorgs = List.rev t.reorgs in
+  let cache = Verifier.Cache.stats () in
+  let lookups = cache.hits + cache.misses in
+  let retries =
+    Zen_obs.Counter.value
+      (Zen_obs.Counter.make "latus.prover.reassignments")
+  in
+  Obj
+    [
+      ("ticks", Int t.time);
+      ( "reorgs",
+        Arr
+          (List.map
+             (fun (tick, depth) ->
+               Obj [ ("tick", Int tick); ("depth", Int depth) ])
+             reorgs) );
+      ( "max_reorg_depth",
+        Int (List.fold_left (fun m (_, d) -> max m d) 0 reorgs) );
+      ("proof_retries", Int retries);
+      ( "verify_cache",
+        Obj
+          [
+            ("hits", Int cache.hits);
+            ("misses", Int cache.misses);
+            ( "hit_rate",
+              Float
+                (if lookups = 0 then 0.
+                 else float_of_int cache.hits /. float_of_int lookups) );
+          ] );
+      ("certificates", Arr rows);
+    ]

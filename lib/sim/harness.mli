@@ -21,6 +21,19 @@ type sidechain = {
       (** adversarial: stop submitting certificates (drives ceasing) *)
 }
 
+type score = {
+  mutable submitted : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+  mutable withheld : int;
+  mutable cert_errors : int;
+}
+(** Flight-recorder row: certificate outcomes for one
+    (sidechain, epoch) pair. A [Delay]ed certificate counts once under
+    [delayed] when postponed (its eventual delivery is not re-counted);
+    [duplicated] counts the extra copies a [Duplicate] fault queued. *)
+
 type t = {
   mutable chain : Chain.t;
   mutable mempool : Mempool.t;
@@ -48,6 +61,12 @@ type t = {
       (** certificate txids under fault management (reinjected by a
           reorg or duplicated by a fault); when the miner skips one as
           invalid it is purged from the mempool instead of lingering *)
+  scores : (string * int, score) Hashtbl.t;
+      (** the flight recorder, keyed by (sidechain name, epoch) —
+          filled lazily as certificate events happen *)
+  mutable reorgs : (int * int) list;
+      (** every reorg the harness processed, as [(tick, depth)], newest
+          first *)
 }
 
 val create :
@@ -134,6 +153,14 @@ val is_ceased : t -> sidechain -> bool
 
 val find_sidechain : t -> string -> sidechain option
 (** Looks a sidechain up by the [name] given to {!add_latus}. *)
+
+val scoreboard_json : t -> Zen_obs.Json.t
+(** The flight recorder as JSON — per-(sidechain, epoch) certificate
+    outcomes (submitted/dropped/delayed/duplicated/withheld/errors),
+    every reorg with its depth, prover retry count and the MC
+    verification-cache hit rate. The shape the CLI embeds under
+    ["scoreboard"] in a ["zen-report/1"] document. Rows are sorted by
+    (sidechain, epoch), so the output is deterministic. *)
 
 val logf : t -> ('a, unit, string, unit) format4 -> 'a
 (** printf into the world's event log. *)

@@ -79,7 +79,13 @@ let merges =
   Zen_obs.Counter.make ~help:"Recursive proof merges (includes failed attempts)"
     "snark.merges"
 
+let merge_s =
+  Zen_obs.Histogram.make ~help:"single recursive-merge latency (verify children + prove)"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-4 ~factor:4. ~n:8)
+    "snark.merge.seconds"
+
 let merge sys t1 t2 =
+  Zen_obs.Histogram.time merge_s @@ fun () ->
   Zen_obs.Counter.incr merges;
   if not (Fp.equal t1.s_to t2.s_from) then
     Error "merge: transitions are not adjacent"
@@ -120,7 +126,7 @@ let fold_balanced ?(pool = Pool.sequential) sys = function
        map; an odd trailing element is carried up unchanged. Results are
        identical to the sequential left-to-right pass: the pairing is
        positional and [merge] is deterministic. *)
-    let rec level arr =
+    let rec level ~lvl arr =
       let n = Array.length arr in
       if n = 1 then Ok arr.(0)
       else begin
@@ -129,6 +135,11 @@ let fold_balanced ?(pool = Pool.sequential) sys = function
           (* A merge proves the small fixed merge circuit (~2.5 ms):
              heavy enough that near-singleton chunks with stealing are
              the right granularity, which the cost hint encodes. *)
+          Zen_obs.Trace.with_span ~cat:"snark"
+            ~args:
+              [ ("level", string_of_int lvl); ("pairs", string_of_int pairs) ]
+            "recursive.merge_level"
+          @@ fun () ->
           Pool.init_array pool ~cost:2.5 pairs (fun i ->
               merge sys arr.(2 * i) arr.((2 * i) + 1))
         in
@@ -144,7 +155,7 @@ let fold_balanced ?(pool = Pool.sequential) sys = function
         match first_error 0 with
         | Some e -> Error e
         | None ->
-          level
+          level ~lvl:(lvl + 1)
             (Array.init
                ((n + 1) / 2)
                (fun i ->
@@ -153,7 +164,7 @@ let fold_balanced ?(pool = Pool.sequential) sys = function
                  else arr.(n - 1)))
       end
     in
-    level (Array.of_list ts)
+    level ~lvl:0 (Array.of_list ts)
 
 let fold_sequential sys = function
   | [] -> Error "fold_sequential: empty transition list"

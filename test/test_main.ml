@@ -6,6 +6,7 @@ let () =
       T_merkle.suite;
       T_pool.suite;
       T_obs.suite;
+      T_report.suite;
       T_ec_schnorr.suite;
       T_snark.suite;
       T_template.suite;
