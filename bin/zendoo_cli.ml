@@ -78,7 +78,7 @@ let register_sidechains h ~n ~family ~epoch_len ~submit_len =
   go 1 []
 
 let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
-    no_cache no_template_cache metrics trace_out report =
+    aggregate no_cache no_template_cache metrics trace_out report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
@@ -90,7 +90,7 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
     (* The process-wide persistent pool: spawned once, reused by every
        operation in the run, joined by the registry's at_exit hook. *)
     let pool = Pool.get ~domains:(resolve_domains domains) in
-    let h = Zen_sim.Harness.create ~pool ~seed () in
+    let h = Zen_sim.Harness.create ~pool ~aggregate ~seed () in
     Zen_sim.Harness.fund h ~blocks:5;
     let family = Circuits.make Params.default in
     match register_sidechains h ~n:sidechains ~family ~epoch_len ~submit_len with
@@ -266,8 +266,8 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
 (* Everything printed here (and written to --log-out) is a pure
    function of (seed, plan): no wall-clock values, no machine state.
    CI runs the command twice and byte-compares the logs. *)
-let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
-    plan_str log_out no_template_cache metrics trace_out report =
+let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
+    intensity plan_str log_out no_template_cache metrics trace_out report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
@@ -297,7 +297,7 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains intensity
     let faults = Zen_sim.Faults.create ~seed plan in
     let pool = Pool.get ~domains:(resolve_domains domains) in
     let h =
-      Zen_sim.Harness.create ~pool ~faults
+      Zen_sim.Harness.create ~pool ~aggregate ~faults
         ~seed:(Printf.sprintf "chaos.%d" seed) ()
     in
     Zen_sim.Harness.fund h ~blocks:5;
@@ -423,6 +423,16 @@ let sidechains_t =
            compiled circuit family). Every tick forges and certifies \
            each of them against the same mainchain.")
 
+let aggregate_t =
+  Arg.(
+    value & flag
+    & info [ "aggregate" ]
+        ~doc:
+          "Fold each mined block's certificate proofs into one recursive \
+           aggregate proof, so block validation verifies a single proof \
+           regardless of sidechain count. Decisions and logs are identical \
+           either way.")
+
 let no_cache_t =
   Arg.(
     value & flag
@@ -487,8 +497,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
-      $ sidechains_t $ domains_t $ no_cache_t $ no_template_cache_t $ metrics_t
-      $ trace_out_t $ report_t)
+      $ sidechains_t $ domains_t $ aggregate_t $ no_cache_t
+      $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -587,8 +597,8 @@ let chaos_cmd =
           replayable log")
     Term.(
       const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ sidechains_t
-      $ domains_t $ intensity $ plan $ log_out $ no_template_cache_t
-      $ metrics_t $ trace_out_t $ report_t)
+      $ domains_t $ aggregate_t $ intensity $ plan $ log_out
+      $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in

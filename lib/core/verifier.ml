@@ -27,8 +27,13 @@ module Cache = struct
   type stats = { hits : int; misses : int; insertions : int; evictions : int }
 
   let mu = Mutex.create ()
-  let enabled_flag = ref true
-  let cap = ref 4096
+
+  (* [enabled_flag] and [cap] are read on the lock-free fast path of
+     [find]/[store] while [set_enabled]/[set_capacity] write them from
+     other domains — Atomic, not ref-under-mutex, or the unlocked reads
+     are a data race once verification fans out across domains. *)
+  let enabled_flag = Atomic.make true
+  let cap = Atomic.make 4096
   let table : (Hash.t, bool) Hashtbl.t = Hashtbl.create 1024
   let fifo : Hash.t Queue.t = Queue.create ()
   let hits = ref 0
@@ -46,9 +51,9 @@ module Cache = struct
       Mutex.unlock mu;
       raise e
 
-  let enabled () = !enabled_flag
-  let set_enabled b = locked (fun () -> enabled_flag := b)
-  let capacity () = !cap
+  let enabled () = Atomic.get enabled_flag
+  let set_enabled b = Atomic.set enabled_flag b
+  let capacity () = Atomic.get cap
   let size () = locked (fun () -> Hashtbl.length table)
 
   let stats () =
@@ -73,7 +78,7 @@ module Cache = struct
      so recency tracking would buy nothing over insertion order. *)
   let evict_over_capacity () =
     let evicted = ref 0 in
-    while Queue.length fifo > !cap do
+    while Queue.length fifo > Atomic.get cap do
       let victim = Queue.pop fifo in
       Hashtbl.remove table victim;
       incr evictions;
@@ -83,15 +88,12 @@ module Cache = struct
 
   let set_capacity n =
     if n < 1 then invalid_arg "Verifier.Cache.set_capacity: capacity < 1";
-    let evicted =
-      locked (fun () ->
-          cap := n;
-          evict_over_capacity ())
-    in
+    Atomic.set cap n;
+    let evicted = locked evict_over_capacity in
     Zen_obs.Counter.add obs_evict evicted
 
   let find key =
-    if not !enabled_flag then None
+    if not (Atomic.get enabled_flag) then None
     else begin
       let r =
         locked (fun () ->
@@ -110,7 +112,7 @@ module Cache = struct
     end
 
   let store key value =
-    if !enabled_flag then begin
+    if Atomic.get enabled_flag then begin
       let evicted =
         locked (fun () ->
             if Hashtbl.mem table key then 0
@@ -177,6 +179,24 @@ let withdrawal_job ~vk ~(request : Mainchain_withdrawal.t) ~reference_block =
           Mainchain_withdrawal.public_input request ~reference_block
         in
         Backend.verify vk ~public request.proof);
+  }
+
+(* The aggregate's verify is one constant-time [Backend.verify]; caching
+   it still pays because mempool re-checks and reorg replays revisit the
+   same block. The key binds the aggregate vk, the merge root (which
+   binds every covered certificate instance down to its proof bytes),
+   the count and the aggregate proof itself. *)
+let aggregate_job sys (agg : Aggregate.t) =
+  {
+    key =
+      Hash.tagged "mc.verify.cache.aggregate"
+        [
+          Hash.to_raw (Aggregate.vk_digest sys);
+          Hash.to_raw (Aggregate.root agg);
+          string_of_int (Aggregate.count agg);
+          Backend.proof_encode (Aggregate.proof agg);
+        ];
+    verify = (fun () -> Aggregate.verify sys agg);
   }
 
 let run_job j =

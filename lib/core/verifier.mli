@@ -78,6 +78,12 @@ val withdrawal_job :
   reference_block:Hash.t ->
   job
 
+val aggregate_job : Aggregate.system -> Aggregate.t -> job
+(** The single block-level verification of a certificate aggregate. The
+    key binds the aggregate vk digest, the merge root, the covered
+    count and the proof bytes, so mempool re-checks and reorg replays
+    of the same block hit the cache. *)
+
 val job_key : job -> Hash.t
 (** The cache key (exposed for tests). *)
 

@@ -85,7 +85,7 @@ let block_hash t = Block.header_hash t.header
 let height t = t.header.height
 
 let size_bytes t =
-  let header_size = 4 + 4 + 4 + (3 * Hash.size) in
+  let header_size = 4 + 4 + 4 + (4 * Hash.size) in
   header_size
   + (match t.mproof with
     | Some m -> Sc_commitment.membership_size_bytes m

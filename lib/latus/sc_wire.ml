@@ -79,7 +79,7 @@ let write_mc_ref w (m : Mc_ref.t) =
   Wire.list w (Codec.write_withdrawal w) m.btrs;
   Wire.option w (Codec.write_wcert w) m.wcert
 
-let header_wire_size = (3 * Hash.size) + (3 * 8)
+let header_wire_size = (4 * Hash.size) + (3 * 8)
 
 let read_mc_ref r =
   let* header_raw = Wire.read_fixed r header_wire_size in

@@ -8,9 +8,14 @@ type header = {
   nonce : int;
   tx_root : Hash.t;
   sc_txs_commitment : Hash.t;
+  cert_aggregate : Hash.t;
 }
 
-type t = { header : header; txs : Tx.t list }
+type t = {
+  header : header;
+  txs : Tx.t list;
+  aggregate : Zen_snark.Aggregate.t option;
+}
 
 let header_hash h =
   Hash.tagged "mc.header"
@@ -21,6 +26,7 @@ let header_hash h =
       string_of_int h.nonce;
       Hash.to_raw h.tx_root;
       Hash.to_raw h.sc_txs_commitment;
+      Hash.to_raw h.cert_aggregate;
     ]
 
 let hash b = header_hash b.header
@@ -73,20 +79,33 @@ let sc_commitment_of_txs ?pool txs =
   | Error e -> Error e
   | Ok m -> Sc_commitment.build ?pool (List.map snd (M.bindings m))
 
-let assemble ?pool ~prev ~height ~time ~txs ~pow () =
+let assemble ?pool ?aggregate ~prev ~height ~time ~txs ~pow () =
   match sc_commitment_of_txs ?pool txs with
   | Error e -> Error e
   | Ok commitment ->
     let tx_root = tx_root ?pool txs in
     let sc_txs_commitment = Sc_commitment.root commitment in
+    (* The aggregate commitment lives in the header so proof of work
+       covers it and header-only consumers (sidechain MC references)
+       keep agreeing on block hashes; [Hash.zero] means "absent". *)
+    let cert_aggregate =
+      match aggregate with
+      | None -> Hash.zero
+      | Some a -> Zen_snark.Aggregate.digest a
+    in
     let hash_of_nonce ~nonce =
-      header_hash { prev; height; time; nonce; tx_root; sc_txs_commitment }
+      header_hash
+        { prev; height; time; nonce; tx_root; sc_txs_commitment;
+          cert_aggregate }
     in
     let nonce = Pow.mine pow hash_of_nonce in
     Ok
       {
-        header = { prev; height; time; nonce; tx_root; sc_txs_commitment };
+        header =
+          { prev; height; time; nonce; tx_root; sc_txs_commitment;
+            cert_aggregate };
         txs;
+        aggregate;
       }
 
 let genesis ~time =
@@ -103,8 +122,10 @@ let genesis ~time =
         nonce = 0;
         tx_root = tx_root txs;
         sc_txs_commitment = Sc_commitment.root commitment;
+        cert_aggregate = Hash.zero;
       };
     txs;
+    aggregate = None;
   }
 
 let validate_structure ?pool ~pow b =
@@ -122,6 +143,33 @@ let validate_structure ?pool ~pow b =
     if Hash.equal b.header.sc_txs_commitment (Sc_commitment.root commitment)
     then Ok ()
     else Error "block: sidechain commitment mismatch"
+  in
+  (* Context-free aggregate checks: the header must commit to exactly
+     the carried aggregate (absent iff the commitment is zero), and the
+     covered count must equal the block's certificate count. Whether the
+     root covers *these* certificates needs chain context and is checked
+     in [Chain_state.apply_block]. *)
+  let* () =
+    match b.aggregate with
+    | None ->
+      if Hash.equal b.header.cert_aggregate Hash.zero then Ok ()
+      else Error "block: header commits to a missing aggregate"
+    | Some a ->
+      if
+        not (Hash.equal b.header.cert_aggregate (Zen_snark.Aggregate.digest a))
+      then Error "block: aggregate commitment mismatch"
+      else begin
+        let certs =
+          List.length
+            (List.filter
+               (function Tx.Certificate _ -> true | _ -> false)
+               b.txs)
+        in
+        if certs = 0 then Error "block: aggregate over a block with no certificates"
+        else if Zen_snark.Aggregate.count a <> certs then
+          Error "block: aggregate certificate count mismatch"
+        else Ok ()
+      end
   in
   let* () =
     match b.txs with

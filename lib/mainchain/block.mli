@@ -11,9 +11,21 @@ type header = {
   nonce : int;
   tx_root : Hash.t;
   sc_txs_commitment : Hash.t;
+  cert_aggregate : Hash.t;
+      (** {!Zen_snark.Aggregate.digest} of the block's certificate
+          aggregate, or {!Hash.zero} when the block carries none — in
+          the header so PoW covers it and header-only consumers agree
+          on block hashes *)
 }
 
-type t = { header : header; txs : Tx.t list }
+type t = {
+  header : header;
+  txs : Tx.t list;
+  aggregate : Zen_snark.Aggregate.t option;
+      (** one recursive proof folding every certificate proof in [txs];
+          when present, block validation verifies it instead of the
+          per-certificate proofs *)
+}
 
 val header_hash : header -> Hash.t
 val hash : t -> Hash.t
@@ -29,6 +41,7 @@ val sc_commitment_of_txs :
 
 val assemble :
   ?pool:Pool.t ->
+  ?aggregate:Zen_snark.Aggregate.t ->
   prev:Hash.t ->
   height:int ->
   time:int ->
@@ -36,14 +49,17 @@ val assemble :
   pow:Pow.params ->
   unit ->
   (t, string) result
-(** Computes roots, mines the nonce, returns the sealed block. *)
+(** Computes roots (including the aggregate commitment when one is
+    given), mines the nonce, returns the sealed block. *)
 
 val genesis : time:int -> t
 (** The fixed genesis block (empty, zero parent). *)
 
 val validate_structure :
   ?pool:Pool.t -> pow:Pow.params -> t -> (unit, string) result
-(** Context-free checks: PoW, tx root, commitment root, exactly one
-    leading coinbase, at most one certificate per sidechain. *)
+(** Context-free checks: PoW, tx root, commitment root, header/body
+    aggregate-commitment consistency (count must match the block's
+    certificates), exactly one leading coinbase, at most one
+    certificate per sidechain. *)
 
 val pp : Format.formatter -> t -> unit

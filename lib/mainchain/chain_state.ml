@@ -21,7 +21,7 @@ type t = {
   time : int;
   utxos : Utxo_set.t;
   scs : Sc_ledger.t;
-  hash_by_height : Hash.t list;
+  hash_by_height : Height_index.t;
 }
 
 let of_genesis params (g : Block.t) =
@@ -32,12 +32,10 @@ let of_genesis params (g : Block.t) =
     time = g.header.time;
     utxos = Utxo_set.empty;
     scs = Sc_ledger.empty;
-    hash_by_height = [ Block.hash g ];
+    hash_by_height = Height_index.append Height_index.empty (Block.hash g);
   }
 
-let block_hash_at t h =
-  if h < 0 || h > t.height then None
-  else List.nth_opt t.hash_by_height (t.height - h)
+let block_hash_at t h = Height_index.get t.hash_by_height h
 
 let spendable t outpoint ~at_height =
   match Utxo_set.find t.utxos outpoint with
@@ -62,14 +60,21 @@ let check_input t ~height ~sighash (input : Tx.input) =
   if Schnorr.verify input.pk (Hash.to_raw sighash) input.signature then Ok coin
   else Error "tx: invalid signature"
 
-let distinct_outpoints inputs =
-  let rec go seen = function
+(* Single hashed-membership pass — [List.mem] over the encoded strings
+   was O(n²) per transaction. *)
+let distinct_outpoints outpoints =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
     | [] -> true
-    | (i : Tx.input) :: rest ->
-      let k = Tx.outpoint_encode i.outpoint in
-      if List.mem k seen then false else go (k :: seen) rest
+    | o :: rest ->
+      let k = Tx.outpoint_encode o in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        go rest
+      end
   in
-  go [] inputs
+  go outpoints
 
 let add_outputs utxos ~txid ~spendable_after outputs =
   List.fold_left
@@ -90,7 +95,7 @@ let cert_payout_outpoints (record : Sc_ledger.cert_record) =
   List.mapi (fun i (_ : Backward_transfer.t) -> { Tx.txid; vout = i })
     record.cert.bt_list
 
-let apply_tx t ~height ~block_hash tx =
+let apply_tx ?(settled = Hash.Set.empty) t ~height ~block_hash tx =
   match tx with
   | Tx.Coinbase _ -> Error "tx: coinbase outside block context"
   | Tx.Transfer { inputs; outputs } ->
@@ -98,7 +103,10 @@ let apply_tx t ~height ~block_hash tx =
       if inputs = [] then Error "tx: transfer without inputs" else Ok ()
     in
     let* () =
-      if distinct_outpoints inputs then Ok ()
+      if
+        distinct_outpoints
+          (List.map (fun (i : Tx.input) -> i.outpoint) inputs)
+      then Ok ()
       else Error "tx: duplicate input"
     in
     let sighash =
@@ -141,7 +149,7 @@ let apply_tx t ~height ~block_hash tx =
     Ok ({ t with scs }, Amount.zero)
   | Tx.Certificate cert ->
     let* scs, replaced =
-      Sc_ledger.accept_cert t.scs ~cert ~block_hash ~height
+      Sc_ledger.accept_cert ~settled t.scs ~cert ~block_hash ~height
         ~block_hash_at:(block_hash_at t)
     in
     (* Claw back the payouts of a replaced lower-quality certificate;
@@ -217,6 +225,97 @@ let prewarm_verifier ?pool t txs =
     | jobs -> ignore (Verifier.verify_batch ?pool jobs : bool list)
   end
 
+(* Process-wide diagnostics of the aggregation path (mirrors the
+   Verifier.Cache stats discipline): how many blocks validated through
+   an aggregate, how many certificate verifications that settled, and
+   how many aggregates were rejected. *)
+module Aggregate_stats = struct
+  type t = {
+    blocks : int;
+    certs_settled : int;
+    proof_checks : int;
+    rejected : int;
+  }
+
+  let blocks_c = Atomic.make 0
+  let certs_c = Atomic.make 0
+  let checks_c = Atomic.make 0
+  let rejected_c = Atomic.make 0
+
+  let snapshot () =
+    {
+      blocks = Atomic.get blocks_c;
+      certs_settled = Atomic.get certs_c;
+      proof_checks = Atomic.get checks_c;
+      rejected = Atomic.get rejected_c;
+    }
+
+  let reset () =
+    Atomic.set blocks_c 0;
+    Atomic.set certs_c 0;
+    Atomic.set checks_c 0;
+    Atomic.set rejected_c 0
+end
+
+(* Validate a block-level certificate aggregate against this (pre-block)
+   state: recompute the expected leaves for the block's certificates in
+   order, require exact coverage (count and merge root), then run the
+   single proof verification. Returns the job keys the aggregate
+   settles. Any failure REJECTS the block — an aggregated block never
+   silently degrades to per-certificate verification, because a miner
+   could otherwise strip or corrupt aggregates to re-inflate validation
+   cost (and an honest miner never produces an invalid one). *)
+let settle_aggregate t txs agg =
+  let sys = Zen_snark.Aggregate.shared () in
+  let* pairs_rev =
+    List.fold_left
+      (fun acc tx ->
+        match tx with
+        | Tx.Certificate cert -> (
+          let* acc = acc in
+          match
+            Sc_ledger.wcert_leaf t.scs ~cert ~block_hash_at:(block_hash_at t)
+          with
+          | Some pair -> Ok (pair :: acc)
+          | None ->
+            (* Unknown sidechain or unresolvable boundary: the
+               per-certificate path would reject this block too. *)
+            Error "block: aggregate covers an unverifiable certificate")
+        | _ -> acc)
+      (Ok []) txs
+  in
+  let pairs = List.rev pairs_rev in
+  let* () =
+    if pairs = [] then Error "block: aggregate over a block with no certificates"
+    else Ok ()
+  in
+  let* () =
+    if Zen_snark.Aggregate.count agg = List.length pairs then Ok ()
+    else Error "block: aggregate certificate count mismatch"
+  in
+  let* () =
+    let expected =
+      Zen_snark.Aggregate.root_of_digests
+        (List.map
+           (fun (l, _) -> Zen_snark.Aggregate.leaf_digest l)
+           pairs)
+    in
+    match expected with
+    | Some r when Hash.equal r (Zen_snark.Aggregate.root agg) -> Ok ()
+    | _ -> Error "block: aggregate does not cover this block's certificates"
+  in
+  ignore (Atomic.fetch_and_add Aggregate_stats.checks_c 1 : int);
+  if Verifier.run_job (Verifier.aggregate_job sys agg) then begin
+    ignore (Atomic.fetch_and_add Aggregate_stats.blocks_c 1 : int);
+    ignore
+      (Atomic.fetch_and_add Aggregate_stats.certs_c (List.length pairs) : int);
+    Ok
+      (List.fold_left
+         (fun s (_, j) -> Hash.Set.add (Verifier.job_key j) s)
+         Hash.Set.empty pairs)
+  end
+  else Error "block: aggregate proof rejected"
+
 let apply_block ?pool t (b : Block.t) =
   let* () = Block.validate_structure ?pool ~pow:t.params.pow b in
   let* () =
@@ -236,14 +335,41 @@ let apply_block ?pool t (b : Block.t) =
     | [] -> Error "block: empty (coinbase required)"
     | _ -> Error "block: first transaction must be the coinbase"
   in
-  (* Batch-verify the block's proofs up front (fanned out on [pool]);
-     the sequential application below then decides through the cache. *)
-  prewarm_verifier ?pool t rest;
+  let* settled =
+    match b.aggregate with
+    | None ->
+      (* Per-certificate path: batch-verify the block's proofs up front
+         (fanned out on [pool]); the sequential application below then
+         decides through the cache. *)
+      prewarm_verifier ?pool t rest;
+      Ok Hash.Set.empty
+    | Some agg -> (
+      (* Aggregated path: certificate proofs are discharged by the one
+         aggregate verification; only withdrawal (BTR/CSW) proofs remain
+         individual, so prewarm just those. *)
+      (if Verifier.Cache.enabled () then
+         match
+           List.filter_map
+             (fun tx ->
+               match tx with
+               | Tx.Withdrawal_request w ->
+                 Sc_ledger.withdrawal_verify_job t.scs ~request:w
+               | _ -> None)
+             rest
+         with
+        | [] -> ()
+        | jobs -> ignore (Verifier.verify_batch ?pool jobs : bool list));
+      match settle_aggregate t rest agg with
+      | Ok s -> Ok s
+      | Error e ->
+        ignore (Atomic.fetch_and_add Aggregate_stats.rejected_c 1 : int);
+        Error e)
+  in
   let* state, fees =
     List.fold_left
       (fun acc tx ->
         let* s, fees = acc in
-        let* s, fee = apply_tx s ~height ~block_hash tx in
+        let* s, fee = apply_tx ~settled s ~height ~block_hash tx in
         match Amount.add fees fee with
         | Ok fees -> Ok (s, fees)
         | Error e -> Error e)
@@ -280,5 +406,5 @@ let apply_block ?pool t (b : Block.t) =
       height;
       tip_hash = block_hash;
       time = b.header.time;
-      hash_by_height = block_hash :: t.hash_by_height;
+      hash_by_height = Height_index.append t.hash_by_height block_hash;
     }

@@ -24,26 +24,65 @@ type t = {
   time : int;
   utxos : Utxo_set.t;
   scs : Sc_ledger.t;
-  hash_by_height : Hash.t list;  (** newest first; index 0 is the tip *)
+  hash_by_height : Height_index.t;
+      (** persistent height → block-hash index (O(log n) lookup; the
+          structure is shared across branch states) *)
 }
 
 val of_genesis : params -> Block.t -> t
 
 val block_hash_at : t -> int -> Hash.t option
-(** Hash of this chain's block at the given height. *)
+(** Hash of this chain's block at the given height — O(log height),
+    called once per certificate verification. *)
+
+val distinct_outpoints : Tx.outpoint list -> bool
+(** No outpoint appears twice (hashed single pass). Exposed for
+    property tests against the naive quadratic reference. *)
 
 val apply_tx :
-  t -> height:int -> block_hash:Hash.t -> Tx.t -> (t * Amount.t, string) result
+  ?settled:Hash.Set.t ->
+  t ->
+  height:int ->
+  block_hash:Hash.t ->
+  Tx.t ->
+  (t * Amount.t, string) result
 (** Validates and applies one non-coinbase transaction; returns the new
     state and the transaction fee. Used by block validation and by the
-    miner's template construction. *)
+    miner's template construction. [settled] (default empty) carries
+    the {!Verifier.job_key}s already discharged by an enclosing block's
+    verified certificate aggregate — see {!Sc_ledger.accept_cert}. *)
 
 val apply_block : ?pool:Pool.t -> t -> Block.t -> (t, string) result
 (** Full block validation: structure, linkage, every transaction, and
     the coinbase reward bound (subsidy + fees). [pool] parallelises the
     commitment rebuild and the up-front batch verification of the
     block's certificate/withdrawal proofs ({!prewarm_verifier});
-    per-transaction decisions are unchanged for every domain count. *)
+    per-transaction decisions are unchanged for every domain count.
+
+    When the block carries a certificate aggregate, validation runs
+    exactly {e one} SNARK verification for all its certificates: the
+    expected leaves are recomputed from this state, coverage (count and
+    merge root) is checked, and the aggregate proof is verified through
+    the cache; the per-certificate verifications are then skipped as
+    settled. Any aggregate defect — wrong coverage, unverifiable leaf,
+    rejected proof — rejects the block (never a silent fallback).
+    Accept/reject decisions are identical to the per-certificate path
+    by construction. Blocks without an aggregate validate exactly as
+    before. *)
+
+module Aggregate_stats : sig
+  type t = {
+    blocks : int;  (** blocks validated through an aggregate *)
+    certs_settled : int;  (** certificate verifications discharged *)
+    proof_checks : int;  (** aggregate proof decisions (cached or not) *)
+    rejected : int;  (** blocks rejected for a bad aggregate *)
+  }
+
+  val snapshot : unit -> t
+  val reset : unit -> unit
+end
+(** Process-wide aggregation-path counters (diagnostics; the CI smoke
+    job asserts [proof_checks = blocks], i.e. one proof per block). *)
 
 val proof_jobs : t -> Tx.t list -> Verifier.job list
 (** The SNARK verifications applying [txs] to this state would run,

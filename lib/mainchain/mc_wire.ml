@@ -108,7 +108,8 @@ let write_header w (h : Block.header) =
   Wire.u63 w h.time;
   Wire.u63 w h.nonce;
   Wire.hash w h.tx_root;
-  Wire.hash w h.sc_txs_commitment
+  Wire.hash w h.sc_txs_commitment;
+  Wire.hash w h.cert_aggregate
 
 let read_header r =
   let* prev = Wire.read_hash r in
@@ -117,16 +118,41 @@ let read_header r =
   let* nonce = Wire.read_u63 r in
   let* tx_root = Wire.read_hash r in
   let* sc_txs_commitment = Wire.read_hash r in
-  Ok { Block.prev; height; time; nonce; tx_root; sc_txs_commitment }
+  let* cert_aggregate = Wire.read_hash r in
+  Ok
+    { Block.prev; height; time; nonce; tx_root; sc_txs_commitment;
+      cert_aggregate }
+
+let write_aggregate w a =
+  Wire.hash w (Zen_snark.Aggregate.root a);
+  Wire.u32 w (Zen_snark.Aggregate.count a);
+  Wire.fixed w (Zen_snark.Backend.proof_encode (Zen_snark.Aggregate.proof a))
+
+let read_aggregate r =
+  let* root = Wire.read_hash r in
+  let* count = Wire.read_u32 r in
+  let* () =
+    if count >= 1 then Ok ()
+    else Error "mc wire: aggregate covers no certificates"
+  in
+  let* raw = Wire.read_fixed r Zen_snark.Backend.proof_size_bytes in
+  let* proof =
+    match Zen_snark.Backend.proof_decode raw with
+    | Some p -> Ok p
+    | None -> Error "mc wire: malformed aggregate proof"
+  in
+  Ok (Zen_snark.Aggregate.of_parts ~root ~count ~proof)
 
 let write_block w (b : Block.t) =
   write_header w b.header;
-  Wire.list w (write_tx w) b.txs
+  Wire.list w (write_tx w) b.txs;
+  Wire.option w (write_aggregate w) b.aggregate
 
 let read_block r =
   let* header = read_header r in
   let* txs = Wire.read_list ~max:65536 r read_tx in
-  Ok { Block.header; txs }
+  let* aggregate = Wire.read_option r read_aggregate in
+  Ok { Block.header; txs; aggregate }
 
 let with_writer f =
   let w = Wire.writer () in

@@ -8,7 +8,8 @@ let coinbase_for chain ~height ~miner_addr ~fees =
   in
   Tx.Coinbase { height; reward = { Tx.addr = miner_addr; amount = reward } }
 
-let build_block ?pool chain ~time ~miner_addr ~candidates =
+let build_block ?pool ?(aggregate = false) chain ~time ~miner_addr ~candidates
+    =
   let state = Chain.tip_state chain in
   let height = state.height + 1 in
   (* Batch-verify the candidates' proofs before trial application, so
@@ -29,12 +30,48 @@ let build_block ?pool chain ~time ~miner_addr ~candidates =
       (state, [], [], Amount.zero)
       candidates
   in
-  let txs =
-    coinbase_for chain ~height ~miner_addr ~fees :: List.rev selected_rev
+  let selected = List.rev selected_rev in
+  (* Fold the selected certificates' proofs into one aggregate. Leaves
+     come from the parent state — the same boundaries validation will
+     resolve — and each check is the per-certificate job (a cache hit:
+     trial application just verified it). If any leaf is unformable or
+     the build fails, ship without an aggregate; absence is the valid
+     fallback, a malformed aggregate would reject the whole block. *)
+  let agg =
+    if not aggregate then None
+    else begin
+      let pairs =
+        List.fold_left
+          (fun acc tx ->
+            match (acc, tx) with
+            | None, _ -> None
+            | Some acc, Tx.Certificate cert -> (
+              match
+                Sc_ledger.wcert_leaf state.scs ~cert
+                  ~block_hash_at:(Chain_state.block_hash_at state)
+              with
+              | Some (leaf, job) ->
+                Some ((leaf, fun () -> Verifier.run_job job) :: acc)
+              | None -> None)
+            | Some _, _ -> acc)
+          (Some []) selected
+      in
+      match pairs with
+      | None | Some [] -> None
+      | Some pairs_rev -> (
+        match
+          Zen_snark.Aggregate.build ?pool
+            (Zen_snark.Aggregate.shared ())
+            (List.rev pairs_rev)
+        with
+        | Ok a -> Some a
+        | Error _ -> None)
+    end
   in
+  let txs = coinbase_for chain ~height ~miner_addr ~fees :: selected in
   match
-    Block.assemble ?pool ~prev:(Chain.tip_hash chain) ~height ~time ~txs
-      ~pow:(Chain.params chain).pow ()
+    Block.assemble ?pool ?aggregate:agg ~prev:(Chain.tip_hash chain) ~height
+      ~time ~txs ~pow:(Chain.params chain).pow ()
   with
   | Error e -> Error e
   | Ok block -> Ok (block, List.rev skipped_rev)

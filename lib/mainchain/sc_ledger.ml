@@ -105,6 +105,33 @@ let wcert_verify_job t ~(cert : Withdrawal_certificate.t) ~block_hash_at =
           ~end_epoch)
       (epoch_boundaries sc ~cert ~block_hash_at)
 
+(* The aggregation leaf for one certificate, paired with the exact
+   per-certificate job the leaf stands in for. Built from the same
+   boundary resolution as [wcert_verify_job], so the leaf digest and
+   the job's cache key bind the same verification instance — the
+   aggregated and per-certificate paths decide identically by
+   construction. *)
+let wcert_leaf t ~(cert : Withdrawal_certificate.t) ~block_hash_at =
+  match find t cert.ledger_id with
+  | None -> None
+  | Some sc ->
+    Option.map
+      (fun (end_prev_epoch, end_epoch) ->
+        let vk = sc.config.wcert_vk in
+        let leaf =
+          {
+            Zen_snark.Aggregate.sc_id = cert.ledger_id;
+            epoch = cert.epoch_id;
+            cert_hash = Withdrawal_certificate.hash cert;
+            vk_digest = Zen_snark.Backend.vk_digest vk;
+            proof_bytes = Zen_snark.Backend.proof_encode cert.proof;
+            end_prev_epoch;
+            end_epoch;
+          }
+        in
+        (leaf, Verifier.wcert_job ~vk ~cert ~end_prev_epoch ~end_epoch))
+      (epoch_boundaries sc ~cert ~block_hash_at)
+
 let withdrawal_verify_job t ~(request : Mainchain_withdrawal.t) =
   match find t request.ledger_id with
   | None -> None
@@ -120,8 +147,8 @@ let withdrawal_verify_job t ~(request : Mainchain_withdrawal.t) =
           ~reference_block:(reference_block_for sc))
       vk
 
-let accept_cert t ~(cert : Withdrawal_certificate.t) ~block_hash ~height
-    ~block_hash_at =
+let accept_cert ?(settled = Hash.Set.empty) t
+    ~(cert : Withdrawal_certificate.t) ~block_hash ~height ~block_hash_at =
   let ( let* ) = Result.bind in
   let* sc =
     match find t cert.ledger_id with
@@ -177,9 +204,15 @@ let accept_cert t ~(cert : Withdrawal_certificate.t) ~block_hash ~height
     | None -> Error "cert: epoch boundary block not on this chain"
   in
   let* () =
-    if
-      Verifier.verify_wcert ~vk:sc.config.wcert_vk ~cert ~end_prev_epoch
+    let job =
+      Verifier.wcert_job ~vk:sc.config.wcert_vk ~cert ~end_prev_epoch
         ~end_epoch
+    in
+    (* A key in [settled] was covered by this block's already-verified
+       aggregate: the aggregate's leaves bind exactly the inputs of this
+       job's key, so membership implies this verification would return
+       true — skip it (that skip is the whole point of aggregation). *)
+    if Hash.Set.mem (Verifier.job_key job) settled || Verifier.run_job job
     then Ok ()
     else Error "cert: SNARK proof rejected"
   in

@@ -46,6 +46,7 @@ val credit_ft : t -> Forward_transfer.t -> height:int -> (t, string) result
     ceased; the balance grows. *)
 
 val accept_cert :
+  ?settled:Hash.Set.t ->
   t ->
   cert:Withdrawal_certificate.t ->
   block_hash:Hash.t ->
@@ -59,7 +60,13 @@ val accept_cert :
     verification against the epoch-boundary block hashes (resolved
     through [block_hash_at]), safeguard. On success returns the state
     and the certificate record this one *replaces* (same epoch, lower
-    quality), whose payouts the chain must claw back. *)
+    quality), whose payouts the chain must claw back.
+
+    [settled] carries the {!Verifier.job_key}s of certificate
+    verifications already discharged by the enclosing block's verified
+    aggregate; a key found there skips the individual SNARK
+    verification (the decision is provably the same — the aggregate's
+    leaves bind the same inputs as the job key). *)
 
 val check_withdrawal :
   t ->
@@ -89,6 +96,18 @@ val wcert_verify_job :
     {!Verifier.Cache} in a batch before transactions are applied one by
     one. [None] when the sidechain is unknown or an epoch boundary is
     unresolvable (acceptance would fail before verifying anyway). *)
+
+val wcert_leaf :
+  t ->
+  cert:Withdrawal_certificate.t ->
+  block_hash_at:(int -> Hash.t option) ->
+  (Zen_snark.Aggregate.leaf * Verifier.job) option
+(** The certificate's aggregation leaf, paired with the per-certificate
+    verification job it stands in for. Leaf digest and job key bind the
+    same instance (vk digest, certificate hash, proof bytes, epoch
+    boundaries), which is what makes aggregated and per-certificate
+    validation decide identically. Same [None] conditions as
+    {!wcert_verify_job}. *)
 
 val withdrawal_verify_job :
   t -> request:Mainchain_withdrawal.t -> Verifier.job option

@@ -29,6 +29,7 @@ type t = {
   mc_wallet : Wallet.t;
   miner_addr : Hash.t;
   pool : Pool.t;
+  aggregate : bool;
   mutable time : int;
   mutable sidechains_rev : sidechain list;
   mutable next_sc_nonce : int;
@@ -44,7 +45,8 @@ let sidechains t = List.rev t.sidechains_rev
 let logf t fmt = Printf.ksprintf (Zen_obs.Events.add t.log) fmt
 let dump_log t = Zen_obs.Events.items t.log
 
-let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?faults ~seed () =
+let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?(aggregate = false)
+    ?faults ~seed () =
   let params = { Chain_state.default_params with pow } in
   let mc_wallet = Wallet.create ~seed in
   let miner_addr = Wallet.fresh_address mc_wallet in
@@ -54,6 +56,7 @@ let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?faults ~seed () =
     mc_wallet;
     miner_addr;
     pool;
+    aggregate;
     time = 0;
     sidechains_rev = [];
     next_sc_nonce = 1;
@@ -126,8 +129,9 @@ let handle_outcome t = function
 let mine t =
   t.time <- t.time + 1;
   match
-    Miner.build_block ~pool:t.pool t.chain ~time:t.time
-      ~miner_addr:t.miner_addr ~candidates:(Mempool.txs t.mempool)
+    Miner.build_block ~pool:t.pool ~aggregate:t.aggregate t.chain
+      ~time:t.time ~miner_addr:t.miner_addr
+      ~candidates:(Mempool.txs t.mempool)
   with
   | Error e -> logf t "mine failed: %s" e
   | Ok (block, skipped) ->
@@ -454,6 +458,16 @@ let scoreboard_json t =
       ( "max_reorg_depth",
         Int (List.fold_left (fun m (_, d) -> max m d) 0 reorgs) );
       ("proof_retries", Int retries);
+      ( "aggregate",
+        (let a = Chain_state.Aggregate_stats.snapshot () in
+         Obj
+           [
+             ("enabled", Bool t.aggregate);
+             ("blocks", Int a.Chain_state.Aggregate_stats.blocks);
+             ("certs_settled", Int a.Chain_state.Aggregate_stats.certs_settled);
+             ("proof_checks", Int a.Chain_state.Aggregate_stats.proof_checks);
+             ("rejected", Int a.Chain_state.Aggregate_stats.rejected);
+           ]) );
       ( "verify_cache",
         Obj
           [

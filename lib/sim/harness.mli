@@ -43,6 +43,11 @@ type t = {
       (** worker pool handed to mining/validation (batch certificate
           verification, commitment builds) and, by default, to every
           sidechain node *)
+  aggregate : bool;
+      (** when true, every mined block folds its certificate proofs
+          into one {!Zen_snark.Aggregate} (validation verifies one
+          proof per block); decisions and logs are byte-identical
+          either way *)
   mutable time : int;
   mutable sidechains_rev : sidechain list;
       (** newest first (constant-time registration); read registration
@@ -72,6 +77,7 @@ type t = {
 val create :
   ?pow:Pow.params ->
   ?pool:Pool.t ->
+  ?aggregate:bool ->
   ?faults:Faults.t ->
   seed:string ->
   unit ->
@@ -157,8 +163,9 @@ val find_sidechain : t -> string -> sidechain option
 val scoreboard_json : t -> Zen_obs.Json.t
 (** The flight recorder as JSON — per-(sidechain, epoch) certificate
     outcomes (submitted/dropped/delayed/duplicated/withheld/errors),
-    every reorg with its depth, prover retry count and the MC
-    verification-cache hit rate. The shape the CLI embeds under
+    every reorg with its depth, prover retry count, the MC
+    verification-cache hit rate and the certificate-aggregation
+    counters ({!Zen_mainchain.Chain_state.Aggregate_stats}). The shape the CLI embeds under
     ["scoreboard"] in a ["zen-report/1"] document. Rows are sorted by
     (sidechain, epoch), so the output is deterministic. *)
 

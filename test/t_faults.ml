@@ -252,9 +252,10 @@ let test_reinject_skips_reincluded () =
   (* transactions the new branch already carries must not reappear *)
   let header =
     { Block.prev = Hash.zero; height = 1; time = 0; nonce = 0;
-      tx_root = Hash.zero; sc_txs_commitment = Hash.zero }
+      tx_root = Hash.zero; sc_txs_commitment = Hash.zero;
+      cert_aggregate = Hash.zero }
   in
-  let b_with tx = { Block.header; txs = [ tx ] } in
+  let b_with tx = { Block.header; txs = [ tx ]; aggregate = None } in
   let tx =
     Tx.Coinbase { height = 1; reward = { Tx.addr = Hash.zero; amount = amount 1 } }
   in

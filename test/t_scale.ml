@@ -279,6 +279,106 @@ let test_duplicate_submissions_hit_cache () =
         (certified_epochs h' sc' = with_cache);
       checki "cache stayed cold" 0 (Verifier.Cache.stats ()).Verifier.Cache.hits)
 
+(* ---- hot-path regressions ---- *)
+
+(* The enabled flag and capacity are plain [Atomic.t]s read on every
+   [run_job]; toggling them from one domain while others verify must
+   never corrupt a verdict (the seed read the flag unsynchronised,
+   which is UB under the OCaml memory model). Verdicts depend only on
+   the proof, never on cache state, so workers can assert exact
+   outcomes while the toggler spins. *)
+let test_concurrent_toggle_keeps_verdicts () =
+  with_clean_cache (fun () ->
+      let stop = Atomic.make false in
+      let toggler =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Verifier.Cache.set_enabled false;
+              Verifier.Cache.set_capacity 4;
+              Verifier.Cache.set_enabled true;
+              Verifier.Cache.set_capacity 4096
+            done)
+      in
+      let worker good =
+        Domain.spawn (fun () ->
+            let sound = ref true in
+            for e = 0 to 299 do
+              let quality = if good then 1 else 2 in
+              let verdict =
+                Verifier.run_job (job ~epoch:(e mod 8) ~quality)
+              in
+              if verdict <> good then sound := false
+            done;
+            !sound)
+      in
+      let workers = [ worker true; worker false; worker true; worker false ] in
+      let verdicts_sound = List.map Domain.join workers in
+      Atomic.set stop true;
+      Domain.join toggler;
+      checkb "verdicts correct under concurrent toggling" true
+        (List.for_all Fun.id verdicts_sound))
+
+(* [Chain_state.block_hash_at] was [List.nth_opt] — O(height) per
+   certificate verification, O(height²) to validate a deep chain. The
+   persistent index must answer deep lookups fast and share structure
+   across branches. *)
+let test_height_index_deep_chain () =
+  let h i = Hash.of_string (Printf.sprintf "hi-%d" i) in
+  let n = 200_000 in
+  let idx = ref Height_index.empty in
+  for i = 0 to n - 1 do
+    idx := Height_index.append !idx (h i)
+  done;
+  checki "length" n (Height_index.length !idx);
+  (* branch point: two forks extending the same snapshot stay distinct *)
+  let fork_a = Height_index.append !idx (h 1_000_001)
+  and fork_b = Height_index.append !idx (h 2_000_002) in
+  checkb "forks diverge at the new height" true
+    (Height_index.get fork_a n <> Height_index.get fork_b n);
+  checkb "forks share the prefix" true
+    (Height_index.get fork_a 12345 = Height_index.get fork_b 12345);
+  (* deep random access: ~1e9 list-cell visits under the seed's
+     List.nth_opt, milliseconds here — the generous bound only trips on
+     an accidental return to linear lookup *)
+  let t0 = Unix.gettimeofday () in
+  let seed = ref 123456789 in
+  for _ = 1 to 10_000 do
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    let i = !seed mod n in
+    match Height_index.get !idx i with
+    | Some x when Hash.equal x (h i) -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "wrong hash at height %d" i)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  checkb
+    (Printf.sprintf "10k deep lookups stay sublinear (%.3fs)" dt)
+    true (dt < 2.0);
+  checkb "out of range" true (Height_index.get !idx n = None);
+  checkb "negative" true (Height_index.get !idx (-1) = None)
+
+(* [Chain_state.distinct_outpoints] was O(n²) ([List.mem] per element);
+   the Hashtbl pass must decide exactly the same predicate. *)
+let test_distinct_outpoints_equiv =
+  let naive l =
+    let rec go = function
+      | [] -> true
+      | (o : Tx.outpoint) :: rest ->
+        (not (List.exists (Tx.outpoint_equal o) rest)) && go rest
+    in
+    go l
+  in
+  let gen_outpoint =
+    QCheck2.Gen.(
+      (* a tiny txid/vout space, so duplicates are the common case *)
+      map2
+        (fun t v -> { Tx.txid = Hash.of_string (Printf.sprintf "op-%d" t); vout = v })
+        (int_range 0 7) (int_range 0 2))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"distinct_outpoints = naive" ~count:500
+       QCheck2.Gen.(list_size (int_range 0 24) gen_outpoint)
+       (fun l -> Chain_state.distinct_outpoints l = naive l))
+
 let suite =
   ( "scale",
     [
@@ -291,4 +391,9 @@ let suite =
       Alcotest.test_case "reorg replay cached" `Quick test_reorg_replay_uses_cache;
       Alcotest.test_case "duplicate submissions" `Quick
         test_duplicate_submissions_hit_cache;
+      Alcotest.test_case "concurrent cache toggle" `Quick
+        test_concurrent_toggle_keeps_verdicts;
+      Alcotest.test_case "height index deep chain" `Quick
+        test_height_index_deep_chain;
+      test_distinct_outpoints_equiv;
     ] )

@@ -219,6 +219,85 @@ let test_recursion_empty_fold () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty fold accepted"
 
+(* ---- fold equivalence (property) ----
+
+   [fold_balanced] (any domain count) and [fold_sequential] must accept
+   exactly the same inputs: every adjacency-ordered prefix of a chain is
+   accepted by both with the same endpoints and base count, and a chain
+   broken by dropping an interior element (the odd-carry hazard: the
+   gap can land anywhere in the tree) is rejected by both. One 17-link
+   chain is built once and sliced, so the property costs 17 base proofs
+   total, not 17 per case. *)
+
+let chain17 =
+  lazy
+    (let sys, pk, vk = setup_rec () in
+     (sys, make_chain sys pk vk (Fp.of_int 1) 17))
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let fold_equivalence_prop (len, domains, gap) =
+  let sys, chain = Lazy.force chain17 in
+  let ts = take len chain in
+  (* [gap]: drop an interior link so the endpoints stay but adjacency
+     breaks; only meaningful when at least 3 links remain. *)
+  let ts, broken =
+    match gap with
+    | Some k when len >= 3 -> (drop_nth (1 + (k mod (len - 2))) ts, true)
+    | _ -> (ts, false)
+  in
+  let pool = Pool.get ~domains in
+  let bal = Recursive.fold_balanced ~pool sys ts in
+  let seq = Recursive.fold_sequential sys ts in
+  match (bal, seq) with
+  | Ok b, Ok s ->
+    (not broken)
+    && Recursive.verify sys b && Recursive.verify sys s
+    && Fp.equal (Recursive.s_from b) (Recursive.s_from s)
+    && Fp.equal (Recursive.s_to b) (Recursive.s_to s)
+    && Recursive.base_count b = Recursive.base_count s
+    && Recursive.base_count b = List.length ts
+  | Error _, Error _ -> broken
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let test_fold_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"fold_balanced = fold_sequential" ~count:60
+       ~print:(fun (len, domains, gap) ->
+         Printf.sprintf "len=%d domains=%d gap=%s" len domains
+           (match gap with None -> "-" | Some k -> string_of_int k))
+       QCheck2.Gen.(
+         triple (int_range 1 17) (oneofl [ 1; 2; 4 ])
+           (option (int_range 0 14)))
+       fold_equivalence_prop)
+
+let test_fold_equivalence_exhaustive_lengths () =
+  (* The qcheck generator samples; the acceptance criterion names every
+     length 1..17 (odd-carry shapes) — check them all with each pool. *)
+  let sys, chain = Lazy.force chain17 in
+  List.iter
+    (fun domains ->
+      let pool = Pool.get ~domains in
+      for len = 1 to 17 do
+        let ts = take len chain in
+        let b = ok (Recursive.fold_balanced ~pool sys ts) in
+        let s = ok (Recursive.fold_sequential sys ts) in
+        checkb
+          (Printf.sprintf "len %d domains %d verifies" len domains)
+          true
+          (Recursive.verify sys b && Recursive.verify sys s);
+        checki
+          (Printf.sprintf "len %d domains %d count" len domains)
+          len (Recursive.base_count b);
+        checkb
+          (Printf.sprintf "len %d domains %d endpoints agree" len domains)
+          true
+          (Fp.equal (Recursive.s_to b) (Recursive.s_to s))
+      done)
+    [ 1; 2; 4 ]
+
 let suite =
   ( "snark",
     [
@@ -239,4 +318,7 @@ let suite =
       Alcotest.test_case "recursion vk registry" `Quick
         test_recursion_rejects_unregistered_vk;
       Alcotest.test_case "recursion empty" `Quick test_recursion_empty_fold;
+      test_fold_equivalence;
+      Alcotest.test_case "fold equivalence exhaustive" `Quick
+        test_fold_equivalence_exhaustive_lengths;
     ] )

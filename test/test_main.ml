@@ -22,5 +22,6 @@ let () =
       T_verifier_extra.suite;
       T_wire.suite;
       T_scale.suite;
+      T_aggregate.suite;
       T_codec_fuzz.suite;
     ]
