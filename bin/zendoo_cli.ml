@@ -8,7 +8,10 @@
      prove           prove one epoch's steps on a multicore Domain pool
                      (§5.4.1) and print the measured stats
      chaos           run the world under a deterministic fault plan
-                     (Zen_sim.Faults) and print a replayable log *)
+                     (Zen_sim.Faults) and print a replayable log
+     soak            drive the deterministic workload engine
+                     (Zen_sim.Workload) against the batched state layer
+                     and print throughput *)
 
 open Cmdliner
 open Zen_crypto
@@ -77,8 +80,20 @@ let register_sidechains h ~n ~family ~epoch_len ~submit_len =
   in
   go 1 []
 
+(* --workload PROFILE: parse early so a bad profile fails before any
+   setup; attach after registration so the driver sees every
+   sidechain. *)
+let parse_workload = function
+  | None -> Ok None
+  | Some s -> Result.map Option.some (Zen_sim.Workload.of_string s)
+
+let attach_workload h ~workload ~seed =
+  match workload with
+  | None -> Ok ()
+  | Some profile -> Zen_sim.Harness.set_workload h ~profile ~seed
+
 let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
-    aggregate no_cache no_template_cache metrics trace_out report =
+    aggregate workload no_cache no_template_cache metrics trace_out report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
@@ -86,6 +101,11 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
     1
   end
   else begin
+    match parse_workload workload with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok workload ->
     Verifier.Cache.set_enabled (not no_cache);
     (* The process-wide persistent pool: spawned once, reused by every
        operation in the run, joined by the registry's at_exit hook. *)
@@ -111,6 +131,15 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
         | Ok () -> ()
         | Error e -> Zen_sim.Harness.logf h "ft failed: %s" e
       done;
+      (* the string seed folds to a deterministic workload seed *)
+      let wseed =
+        String.fold_left
+          (fun a c -> ((a * 131) + Char.code c) land max_int)
+          7 seed
+      in
+      (match attach_workload h ~workload ~seed:wseed with
+      | Ok () -> ()
+      | Error e -> Zen_sim.Harness.logf h "workload attach failed: %s" e);
       Zen_sim.Harness.tick_n h ticks;
       List.iter print_endline (Zen_sim.Harness.dump_log h);
       print_newline ();
@@ -128,6 +157,9 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
                (List.map string_of_int
                   (Node.certified_epochs sc.Zen_sim.Harness.node))))
         scs;
+      if workload <> None then
+        Printf.printf "workload injected %d txs\n"
+          (Zen_sim.Harness.workload_injected h);
       let st = Verifier.Cache.stats () in
       Printf.printf "verify cache: %d hits | %d misses | enabled %b\n"
         st.Verifier.Cache.hits st.Verifier.Cache.misses
@@ -267,7 +299,8 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
    function of (seed, plan): no wall-clock values, no machine state.
    CI runs the command twice and byte-compares the logs. *)
 let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
-    intensity plan_str log_out no_template_cache metrics trace_out report =
+    workload intensity plan_str log_out no_template_cache metrics trace_out
+    report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
@@ -275,6 +308,11 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
     1
   end
   else
+  match parse_workload workload with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok workload ->
   let plan_result =
     match plan_str with
     | Some s -> Zen_sim.Faults.plan_of_string s
@@ -319,6 +357,9 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
         | Ok () -> ()
         | Error e -> Zen_sim.Harness.logf h "ft failed: %s" e
       done;
+      (match attach_workload h ~workload ~seed with
+      | Ok () -> ()
+      | Error e -> Zen_sim.Harness.logf h "workload attach failed: %s" e);
       Zen_sim.Harness.tick_n h ticks;
       (* A small §5.4.1 proving episode under the plan's epoch-0 worker
          faults, digest-compared against the fault-free run: crashes
@@ -383,6 +424,8 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
       outf "seed %d\n" seed;
       outf "plan %s\n" (Zen_sim.Faults.plan_to_string plan);
       List.iter (fun l -> outf "%s\n" l) (Zen_sim.Harness.dump_log h);
+      if workload <> None then
+        outf "workload injected %d txs\n" (Zen_sim.Harness.workload_injected h);
       outf
         "chaos: %d faults injected | %d epochs certified | ceased %b | MC \
          height %d | prover retries %d | proof identical %b\n"
@@ -400,7 +443,67 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
       report_extras := [ ("scoreboard", Zen_sim.Harness.scoreboard_json h) ];
       0)
 
+(* ---- soak ---- *)
+
+(* Run the Zen_sim.Workload engine standalone: hundreds of thousands
+   of state transitions per simulated epoch against the batched state
+   layer, no SNARKs in the loop. Everything written to --log-out is a
+   pure function of (seed, profile, switches-that-don't-matter): CI
+   replays the command and byte-compares, and also compares
+   --no-batch / --no-snapshots logs against the default run. Perf
+   numbers (wall clock, throughput, heap) go to stdout only. *)
+let soak profile_str seed no_batch no_snapshots log_out metrics trace_out
+    report =
+  with_obs ~metrics ~trace_out ~report @@ fun () ->
+  match Zen_sim.Workload.of_string profile_str with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok profile -> (
+    let buf = Buffer.create 4096 in
+    let log line =
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n'
+    in
+    match
+      Zen_sim.Workload.run ~batched:(not no_batch)
+        ~snapshots:(not no_snapshots) ~log ~seed profile
+    with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok stats ->
+      print_string (Buffer.contents buf);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Buffer.contents buf);
+          close_out oc)
+        log_out;
+      (* Not in the log: wall clock and heap vary run to run. *)
+      Printf.printf
+        "soak %s: %d txs in %.2f s (%.0f tx/s) | peak heap %d words | \
+         batched %b | snapshots %b\n"
+        (Zen_sim.Workload.to_string stats.Zen_sim.Workload.profile)
+        stats.Zen_sim.Workload.applied stats.Zen_sim.Workload.wall_s
+        (float_of_int stats.Zen_sim.Workload.applied
+        /. Float.max 1e-9 stats.Zen_sim.Workload.wall_s)
+        stats.Zen_sim.Workload.peak_words (not no_batch) (not no_snapshots);
+      0)
+
 (* ---- cmdliner wiring ---- *)
+
+let workload_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~docv:"PROFILE"
+        ~doc:
+          "Attach a deterministic traffic driver: each tick submits \
+           profile-mixed transactions (payments, FTs, BTs) to every \
+           sidechain node behind a diurnal gate. PROFILE is a builtin \
+           ($(b,smoke), $(b,steady), $(b,soak)) or the custom \
+           $(b,u..:z..:t..:e..:p..:b..:m..-..-..-..:d..:s..:r..) syntax.")
 
 let seed_t =
   Arg.(value & opt string "cli" & info [ "seed" ] ~doc:"Deterministic seed.")
@@ -497,7 +600,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
-      $ sidechains_t $ domains_t $ aggregate_t $ no_cache_t
+      $ sidechains_t $ domains_t $ aggregate_t $ workload_t $ no_cache_t
       $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let schedule_cmd =
@@ -597,12 +700,61 @@ let chaos_cmd =
           replayable log")
     Term.(
       const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ sidechains_t
-      $ domains_t $ aggregate_t $ intensity $ plan $ log_out
+      $ domains_t $ aggregate_t $ workload_t $ intensity $ plan $ log_out
       $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
+
+let soak_cmd =
+  let profile =
+    Arg.(
+      value & opt string "smoke"
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Workload profile: $(b,smoke), $(b,steady), $(b,soak) or the \
+             custom syntax printed by replays.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  let no_batch =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Commit each phase with per-key MST updates instead of the \
+             merged-traversal batch path. Logs and digest are identical \
+             either way; only the wall clock moves.")
+  in
+  let no_snapshots =
+    Arg.(
+      value & flag
+      & info [ "no-snapshots" ]
+          ~doc:
+            "Roll reorgs back by replaying the epoch instead of restoring \
+             an O(1) copy-on-write checkpoint. Logs and digest are \
+             identical either way.")
+  in
+  let log_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the replayable run log to FILE (byte-identical for \
+             the same seed and profile, whatever the switches).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Drive the deterministic workload engine against the batched \
+          state layer and print throughput")
+    Term.(
+      const soak $ profile $ seed $ no_batch $ no_snapshots $ log_out
+      $ metrics_t $ trace_out_t $ report_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "zendoo-cli" ~doc)
-          [ simulate_cmd; schedule_cmd; keys_cmd; prove_cmd; chaos_cmd ]))
+          [ simulate_cmd; schedule_cmd; keys_cmd; prove_cmd; chaos_cmd;
+            soak_cmd ]))

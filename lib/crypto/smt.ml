@@ -181,6 +181,75 @@ let of_bindings ?(pool = Pool.sequential) ~depth bindings =
     end
   end
 
+module Im = Map.Make (Int)
+
+(* ---- Batched incremental update ----
+
+   One merged traversal for k updates: the batch is grouped by subtree
+   at every level, so a node on the path to several updated slots is
+   rehashed once instead of once per slot. Untouched subtrees are
+   shared with the input tree, which is what distinguishes this from
+   [of_bindings] (a from-scratch build). *)
+
+let update_batch t updates =
+  match updates with
+  | [] -> Ok t
+  | _ ->
+    let cap = capacity t in
+    if List.exists (fun (p, _) -> p < 0 || p >= cap) updates then
+      Error "smt: position out of range"
+    else begin
+      Zen_obs.Trace.with_span ~cat:"crypto"
+        ~args:[ ("updates", string_of_int (List.length updates)) ]
+        "smt.update_batch"
+      @@ fun () ->
+      (* Last write wins per position — the semantics of folding
+         [update] left to right over the same list. *)
+      let final =
+        List.fold_left (fun m (p, v) -> Im.add p v m) Im.empty updates
+      in
+      let sorted = Im.bindings final in
+      (* [go node h base ups] rebuilds the height-[h] subtree rooted at
+         leaf range [base, base + 2^h) under the updates [ups] (sorted,
+         all within range), returning the new subtree and the change in
+         occupied-leaf count. *)
+      let rec go node h base ups =
+        match ups with
+        | [] -> (node, 0)
+        | _ ->
+          if h = 0 then begin
+            let was = match node with Leaf _ -> 1 | _ -> 0 in
+            match ups with
+            | [ (_, Some v) ] -> (Leaf v, 1 - was)
+            | [ (_, None) ] -> (Empty, -was)
+            | _ -> assert false (* positions are deduplicated above *)
+          end
+          else begin
+            let l, r =
+              match node with
+              | Empty -> (Empty, Empty)
+              | Node { l; r; _ } -> (l, r)
+              | Leaf _ -> assert false (* leaves only live at height 0 *)
+            in
+            let mid = base + (1 lsl (h - 1)) in
+            let l_ups, r_ups = List.partition (fun (p, _) -> p < mid) ups in
+            let l, dl = go l (h - 1) base l_ups in
+            let r, dr = go r (h - 1) mid r_ups in
+            let node =
+              match (l, r) with
+              | Empty, Empty -> Empty
+              | _ ->
+                let hl = node_hash_at (h - 1) l
+                and hr = node_hash_at (h - 1) r in
+                Node { h = Poseidon.hash2 hl hr; l; r }
+            in
+            (node, dl + dr)
+          end
+      in
+      let tree, d = go t.tree t.depth 0 sorted in
+      Ok { t with tree; occupied = t.occupied + d }
+    end
+
 type proof = { position : int; siblings : Fp.t list (* leaf-to-root order *) }
 
 let prove t pos =

@@ -44,6 +44,16 @@ val of_bindings :
 val remove : t -> int -> t
 (** Empties a slot (no-op if already empty). *)
 
+val update_batch : t -> (int * Fp.t option) list -> (t, string) result
+(** [update_batch t [(pos, v); …]] applies k slot writes ([Some v]
+    occupies, [None] empties) in one merged traversal: every node on
+    the union of the k root paths is rehashed exactly once, instead of
+    once per write as with a fold of {!set}/{!remove}. The result is
+    identical to that fold — duplicated positions resolve last-write-
+    wins, untouched subtrees are shared with [t]. For a batch of k
+    writes over a depth-D tree this costs O(k·(D − log₂ k)) hashes
+    rather than O(k·D). Errors on an out-of-range position. *)
+
 val empty_leaf_hash : Fp.t
 (** The hash placed in empty slots, H(Null) in the paper's Fig. 9. *)
 

@@ -90,6 +90,48 @@ let remove t utxo =
         },
         pos )
 
+type op = Op_insert of Utxo.t | Op_remove of Utxo.t
+
+(* Batched application: the opening map and modification set evolve
+   op by op (so ordering semantics — including a remove freeing a slot
+   for a later insert — match a sequential fold of insert/remove
+   exactly), but the tree itself is committed in one merged
+   [Smt.update_batch] traversal at the end. *)
+let apply_ops t ops =
+  let staged =
+    List.fold_left
+      (fun acc op ->
+        match acc with
+        | Error _ -> acc
+        | Ok (utxos, modified, writes) -> (
+          match op with
+          | Op_insert u ->
+            let pos = Utxo.position ~mst_depth:t.params.mst_depth u in
+            if Int_map.mem pos utxos then Error "mst: slot collision"
+            else
+              Ok
+                ( Int_map.add pos u utxos,
+                  Int_set.add pos modified,
+                  (pos, Some (Utxo.commitment u)) :: writes )
+          | Op_remove u -> (
+            let pos = Utxo.position ~mst_depth:t.params.mst_depth u in
+            match Int_map.find_opt pos utxos with
+            | Some u' when Utxo.equal u' u ->
+              Ok
+                ( Int_map.remove pos utxos,
+                  Int_set.add pos modified,
+                  (pos, None) :: writes )
+            | Some _ | None -> Error "mst: utxo not present")))
+      (Ok (t.utxos, t.modified, []))
+      ops
+  in
+  match staged with
+  | Error e -> Error e
+  | Ok (utxos, modified, writes_rev) -> (
+    match Smt.update_batch t.tree (List.rev writes_rev) with
+    | Error e -> Error ("mst: " ^ e)
+    | Ok tree -> Ok { t with tree; utxos; modified })
+
 let balance_of t addr =
   Int_map.fold
     (fun _ (u : Utxo.t) acc ->

@@ -37,6 +37,17 @@ val insert : t -> Utxo.t -> (t * int, string) result
 val remove : t -> Utxo.t -> (t * int, string) result
 (** Fails unless this exact UTXO occupies its slot. *)
 
+type op = Op_insert of Utxo.t | Op_remove of Utxo.t
+
+val apply_ops : t -> op list -> (t, string) result
+(** Batched mutation: semantically identical to folding {!insert} /
+    {!remove} over the ops left to right (same result, same first
+    error — ordering matters, e.g. a remove frees its slot for a later
+    insert), but the tree is rehashed in one merged
+    {!Smt.update_batch} traversal, costing one root-path rehash per
+    {e distinct} touched slot instead of one per op. Either the whole
+    batch applies or the state is unchanged. *)
+
 val balance_of : t -> Hash.t -> Amount.t
 (** Total value held by an address — the stake function for leader
     election. *)

@@ -3,6 +3,8 @@ open Zen_snark
 open Zen_mainchain
 open Zendoo
 
+module Int_map = Map.Make (Int)
+
 let wcert_schema = Proofdata.[ Tdigest; Tfield; Tblob ]
 let withdrawal_schema = Proofdata.[ Tblob ]
 
@@ -39,8 +41,8 @@ type t = {
   genesis_state : Sc_state.t;
   schedule : Epoch.schedule;
   mutable records : record list; (* newest first *)
-  mutable mempool : Sc_tx.t list; (* oldest first *)
-  mutable archives : (int * epoch_archive) list; (* certified epochs *)
+  mutable mempool : Sc_mempool.t;
+  mutable archives : epoch_archive Int_map.t; (* by certified epoch *)
 }
 
 let create ~config ~params ~family ~forger ?(prove = true)
@@ -64,8 +66,8 @@ let create ~config ~params ~family ~forger ?(prove = true)
           genesis_state = Sc_state.create params;
           schedule = Epoch.of_config config;
           records = [];
-          mempool = [];
-          archives = [];
+          mempool = Sc_mempool.empty;
+          archives = Int_map.empty;
         }
 
 let params t = t.params
@@ -114,10 +116,12 @@ let submit_tx t tx =
   match Sc_tx.validate (next_block_state t) tx with
   | Error e -> Error e
   | Ok () ->
-    t.mempool <- t.mempool @ [ tx ];
+    (* O(1) admission, deduplicated by txid (a resubmission is a
+       no-op, not a second queue entry). *)
+    t.mempool <- Sc_mempool.add t.mempool tx;
     Ok ()
 
-let mempool_size t = List.length t.mempool
+let mempool_size t = Sc_mempool.size t.mempool
 
 let stake_distribution t = Leader.of_mst (tip_state t).mst
 
@@ -161,7 +165,10 @@ let reconcile t ~mc =
         dropped
     in
     t.records <- List.rev kept;
-    t.mempool <- recovered @ t.mempool
+    (* Front of the FIFO, deduplicated by txid: a payment that is both
+       in a dropped block and still pooled (or dropped twice across
+       branches) must not be double-queued. *)
+    t.mempool <- Sc_mempool.reinject_front t.mempool recovered
   end;
   List.length dropped
 
@@ -251,7 +258,7 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
   in
   if not leader_ok then Ok None
   else begin
-    let mempool_txs = t.mempool in
+    let mempool_txs = Sc_mempool.txs t.mempool in
     if refs = [] && mempool_txs = [] then Ok None
     else begin
       let state0 = next_block_state t in
@@ -313,10 +320,7 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
       t.records <-
         { block; state_after = state2; proofs = proofs2; wepoch; completes_epoch }
         :: t.records;
-      t.mempool <-
-        List.filter
-          (fun tx -> not (List.memq tx included))
-          t.mempool;
+      t.mempool <- Sc_mempool.remove_included t.mempool included;
       Zen_obs.Counter.incr blocks_forged;
       Ok (Some block)
     end
@@ -324,10 +328,12 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
 
 (* ---- Certificates ---- *)
 
-let certified_epochs t = List.rev_map fst t.archives
+let certified_epochs t = List.map fst (Int_map.bindings t.archives)
 
 let next_uncertified_epoch t =
-  match t.archives with [] -> 0 | (e, _) :: _ -> e + 1
+  match Int_map.max_binding_opt t.archives with
+  | None -> 0
+  | Some (e, _) -> e + 1
 
 (* The epoch to certify next is decided by the mainchain, not by the
    node's archive: a certificate the node built can be lost before
@@ -441,37 +447,37 @@ let build_certificate t ~mc =
       in
       (* A rebuild of an already-archived epoch (lost certificate)
          must not duplicate the archive entry. *)
-      if not (List.mem_assoc epoch t.archives) then
+      if not (Int_map.mem epoch t.archives) then
         t.archives <-
-          ( epoch,
+          Int_map.add epoch
             {
               end_state;
               delta;
               end_block_hash = Sc_block.hash last_record.block;
-            } )
-          :: t.archives;
+            }
+            t.archives;
       Zen_obs.Counter.incr certificates;
       Ok (Some (Tx.Certificate cert))
   end
 
 let state_at_epoch_end t ~epoch =
-  Option.map (fun a -> a.end_state) (List.assoc_opt epoch t.archives)
+  Option.map (fun a -> a.end_state) (Int_map.find_opt epoch t.archives)
 
 let delta_for_epoch t ~epoch =
-  Option.map (fun a -> a.delta) (List.assoc_opt epoch t.archives)
+  Option.map (fun a -> a.delta) (Int_map.find_opt epoch t.archives)
 
 (* ---- Mainchain-managed withdrawals (§5.5.3.2, §5.5.3.3) ---- *)
 
 let create_withdrawal_request t ~kind ~utxo ~receiver ~reference_block
     ?as_of_epoch () =
   let* latest =
-    match t.archives with
-    | [] -> Error "withdrawal: no certified epoch yet"
-    | (e, _) :: _ -> Ok e
+    match Int_map.max_binding_opt t.archives with
+    | None -> Error "withdrawal: no certified epoch yet"
+    | Some (e, _) -> Ok e
   in
   let epoch = Option.value as_of_epoch ~default:latest in
   let* archive =
-    match List.assoc_opt epoch t.archives with
+    match Int_map.find_opt epoch t.archives with
     | Some a -> Ok a
     | None -> Error "withdrawal: epoch not certified"
   in
@@ -482,7 +488,7 @@ let create_withdrawal_request t ~kind ~utxo ~receiver ~reference_block
     let rec check e =
       if e > latest then Ok ()
       else begin
-        match List.assoc_opt e t.archives with
+        match Int_map.find_opt e t.archives with
         | None -> Error "withdrawal: missing delta for intermediate epoch"
         | Some a ->
           if Mst.delta_bit a.delta pos then

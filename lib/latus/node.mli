@@ -64,9 +64,12 @@ val blocks : t -> Sc_block.t list
 (** Oldest first. *)
 
 val submit_tx : t -> Sc_tx.t -> (unit, string) result
-(** Validates against the current state and queues the transaction. *)
+(** Validates against the current state and queues the transaction —
+    O(1) admission into an id-indexed FIFO ({!Sc_mempool});
+    resubmitting a pooled txid is an accepted no-op. *)
 
 val mempool_size : t -> int
+(** O(1). *)
 
 val forge :
   t ->

@@ -42,4 +42,20 @@ val reset_epoch : t -> t
 
 val with_mst : t -> Mst.t -> t
 
+(** {2 Copy-on-write snapshots}
+
+    The state is fully persistent, so snapshotting for reorg rollback
+    needs no copying: a checkpoint pins a version, restoring it is
+    O(1), and memory for the pinned version is shared structurally
+    with every later one. This is what lets the workload engine (and
+    any reorg handler) roll an epoch back without replaying blocks. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Pin the current version. O(1). *)
+
+val restore : checkpoint -> t
+(** The pinned version, exactly as it was. O(1). *)
+
 val pp : Format.formatter -> t -> unit

@@ -197,6 +197,40 @@ let apply_step (state : Sc_state.t) = function
     Ok (Sc_state.with_mst state mst)
   | Append_bt bt -> Ok (Sc_state.append_bt state bt)
 
+(* Batched step application: MST inserts/removes are committed through
+   one [Mst.apply_ops] traversal, BT appends fold separately (they
+   touch the accumulator, not the tree, so the two commute). Ordering
+   within each component is preserved, which keeps the result — and
+   the first error — identical to the sequential fold of
+   [apply_step]. *)
+let apply_steps ?(batched = false) (state : Sc_state.t) steps =
+  if not batched then
+    List.fold_left
+      (fun acc step ->
+        let* st = acc in
+        apply_step st step)
+      (Ok state) steps
+  else begin
+    let mst_ops =
+      List.filter_map
+        (function
+          | Remove u -> Some (Mst.Op_remove u)
+          | Insert u -> Some (Mst.Op_insert u)
+          | Append_bt _ -> None)
+        steps
+    in
+    let* mst = Mst.apply_ops state.mst mst_ops in
+    let state =
+      List.fold_left
+        (fun st step ->
+          match step with
+          | Append_bt bt -> Sc_state.append_bt st bt
+          | Remove _ | Insert _ -> st)
+        state steps
+    in
+    Ok (Sc_state.with_mst state mst)
+  end
+
 let steps_of_valid (state : Sc_state.t) tx =
   match tx with
   | Payment p ->

@@ -94,4 +94,12 @@ val steps : Sc_state.t -> t -> (step list, string) result
 
 val apply_step : Sc_state.t -> step -> (Sc_state.t, string) result
 
+val apply_steps :
+  ?batched:bool -> Sc_state.t -> step list -> (Sc_state.t, string) result
+(** Applies a step sequence. With [~batched:true] the MST
+    inserts/removes commit through one merged {!Mst.apply_ops}
+    traversal (one root-path rehash per distinct touched slot) while
+    BT appends fold in order; result and first error are identical to
+    the default sequential fold of {!apply_step}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -76,17 +76,17 @@ let distinct_outpoints outpoints =
   in
   go outpoints
 
-let add_outputs utxos ~txid ~spendable_after outputs =
+let output_changes ~txid ~spendable_after outputs =
   List.fold_left
-    (fun (utxos, vout) output ->
+    (fun (acc, vout) output ->
       match output with
-      | Tx.Ft _ -> (utxos, vout + 1) (* unspendable: coins are destroyed *)
+      | Tx.Ft _ -> (acc, vout + 1) (* unspendable: coins are destroyed *)
       | Tx.Coin { addr; amount } ->
-        ( Utxo_set.add utxos { Tx.txid; vout }
-            { Utxo_set.addr; amount; spendable_after },
+        ( ({ Tx.txid; vout }, Some { Utxo_set.addr; amount; spendable_after })
+          :: acc,
           vout + 1 ))
-    (utxos, 0) outputs
-  |> fst
+    ([], 0) outputs
+  |> fst |> List.rev
 
 (* Outpoints of the coin payouts a certificate created, for claw-back
    when a higher-quality certificate replaces it within the window. *)
@@ -135,13 +135,11 @@ let apply_tx ?(settled = Hash.Set.empty) t ~height ~block_hash tx =
           Sc_ledger.credit_ft scs ft ~height)
         (Ok t.scs) (Tx.forward_transfers tx)
     in
+    (* One batched coin-flip pass: spent inputs out, fresh outputs in. *)
     let utxos =
-      List.fold_left
-        (fun u (i : Tx.input) -> Utxo_set.remove u i.outpoint)
-        t.utxos inputs
-    in
-    let utxos =
-      add_outputs utxos ~txid:(Tx.txid tx) ~spendable_after:height outputs
+      Utxo_set.apply_batch t.utxos
+        (List.map (fun (i : Tx.input) -> (i.outpoint, None)) inputs
+        @ output_changes ~txid:(Tx.txid tx) ~spendable_after:height outputs)
     in
     Ok ({ t with utxos; scs }, fee)
   | Tx.Sc_create config ->
@@ -158,7 +156,8 @@ let apply_tx ?(settled = Hash.Set.empty) t ~height ~block_hash tx =
       match replaced with
       | None -> t.utxos
       | Some record ->
-        List.fold_left Utxo_set.remove t.utxos (cert_payout_outpoints record)
+        Utxo_set.apply_batch t.utxos
+          (List.map (fun o -> (o, None)) (cert_payout_outpoints record))
     in
     (* Payouts mature only after the submission window closes, so a
        better certificate can still displace them. *)

@@ -22,11 +22,18 @@ let addresses t = List.rev_map (fun k -> k.addr) t.keys
 let key_for t addr = List.find_opt (fun k -> Hash.equal k.addr addr) t.keys
 let owns t addr = key_for t addr <> None
 
+(* Per-address index queries instead of a full-set scan; the final sort
+   (outpoint keys are unique) restores the exact order the historical
+   whole-set fold produced, so coin selection downstream is unchanged. *)
 let spendable_coins t (state : Chain_state.t) =
-  Utxo_set.fold state.utxos ~init:[] ~f:(fun acc outpoint coin ->
-      if owns t coin.Utxo_set.addr && state.height + 1 > coin.spendable_after
-      then (outpoint, coin) :: acc
-      else acc)
+  List.concat_map
+    (fun addr ->
+      List.filter
+        (fun (_, (c : Utxo_set.coin)) -> state.height + 1 > c.spendable_after)
+        (Utxo_set.coins_of_addr state.utxos addr))
+    (addresses t)
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Tx.outpoint_encode b) (Tx.outpoint_encode a))
 
 let balance t state =
   List.fold_left

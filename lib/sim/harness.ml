@@ -23,6 +23,19 @@ type score = {
   mutable cert_errors : int;
 }
 
+(* Live-traffic driver (attached by [set_workload]): each tick draws
+   one transaction kind per sidechain from the profile's mix and
+   submits a real signed transaction to that node, so simulate/chaos
+   runs exercise the mempool/forge path under sustained load. The
+   soak-scale batching itself lives in [Workload.run]; here the profile
+   only shapes rate (diurnal gate) and mix. *)
+type workload_driver = {
+  wl_profile : Workload.profile;
+  wl_seed : int;
+  mutable wl_wallets : (string * Sc_wallet.t) list;
+  mutable wl_injected : int;
+}
+
 type t = {
   mutable chain : Chain.t;
   mutable mempool : Mempool.t;
@@ -39,6 +52,7 @@ type t = {
   mutable managed_certs : Hash.t list;
   scores : (string * int, score) Hashtbl.t;
   mutable reorgs : (int * int) list; (* (tick, depth), newest first *)
+  mutable workload : workload_driver option;
 }
 
 let sidechains t = List.rev t.sidechains_rev
@@ -66,7 +80,17 @@ let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?(aggregate = false)
     managed_certs = [];
     scores = Hashtbl.create 16;
     reorgs = [];
+    workload = None;
   }
+
+let set_workload t ~profile ~seed =
+  match Workload.validate profile with
+  | Error e -> Error e
+  | Ok p ->
+    t.workload <-
+      Some { wl_profile = p; wl_seed = seed; wl_wallets = []; wl_injected = 0 };
+    logf t "workload %s attached (seed %d)" (Workload.to_string p) seed;
+    Ok ()
 
 let score_of t sc ~epoch =
   let key = (sc.name, epoch) in
@@ -216,6 +240,105 @@ let forward_transfer t sc ~receiver ~payback ~amount =
     mine t;
     logf t "FT of %s to %s" (Amount.to_string amount) sc.name;
     Ok ()
+
+(* One workload transaction for [sc] this tick, if the diurnal gate is
+   open. Everything drawn comes from a stream derived from
+   (seed, tick, sidechain index), so injection — and every log line it
+   produces — is a pure function of (seed, profile). One transaction
+   per sidechain per tick: it forges in the same round, so submissions
+   never contend for the same inputs and the pool drains every tick. *)
+let inject_workload_for t d ~tick_no ~idx sc =
+  let p = d.wl_profile in
+  let rng = Rng.derive (Rng.create d.wl_seed) ((tick_no * 8191) + idx) in
+  let wave =
+    Workload.phase_wave ~phases:p.phases ~burst:p.burst (tick_no mod p.phases)
+  in
+  (* wave averages 200 over an epoch; gating on 400 injects on about
+     half the ticks, concentrated in the burst phases. *)
+  if Rng.int rng 400 < wave then begin
+    let wallet =
+      match List.assoc_opt sc.name d.wl_wallets with
+      | Some w -> w
+      | None ->
+        let w =
+          Sc_wallet.create
+            ~seed:(Printf.sprintf "workload.%d.%s" d.wl_seed sc.name)
+        in
+        for _ = 1 to 4 do
+          ignore (Sc_wallet.fresh_address w)
+        done;
+        d.wl_wallets <- (sc.name, w) :: d.wl_wallets;
+        w
+    in
+    let st = Node.next_block_state sc.node in
+    let addrs = Array.of_list (Sc_wallet.addresses wallet) in
+    (* Funding fallback: an FT from the harness wallet, mined next tick
+       and credited when the node forges past that MC reference. *)
+    let fund () =
+      let addr = Rng.pick rng addrs in
+      let amount = Amount.of_int_exn (100_000 + Rng.int rng 900_000) in
+      match
+        Wallet.build_forward_transfer t.mc_wallet (Chain.tip_state t.chain)
+          ~ledger_id:sc.ledger_id
+          ~receiver_metadata:(Sc_tx.ft_metadata ~receiver:addr ~payback:addr)
+          ~amount ~fee:(Amount.of_int_exn 1000)
+      with
+      | Error e -> logf t "workload: %s ft failed: %s" sc.name e
+      | Ok tx ->
+        submit t tx;
+        d.wl_injected <- d.wl_injected + 1;
+        logf t "workload: %s funded with FT of %s" sc.name
+          (Amount.to_string amount)
+    in
+    let submit_sc what tx =
+      match Node.submit_tx sc.node tx with
+      | Error e -> logf t "workload: %s %s rejected: %s" sc.name what e
+      | Ok () ->
+        d.wl_injected <- d.wl_injected + 1;
+        logf t "workload: %s %s submitted" sc.name what
+    in
+    let kind = Rng.int rng 100 in
+    (* The BTR share folds into BT here: at the state layer they are
+       the same withdrawal; MC-initiated BTRs are exercised separately
+       by the scenario tests. *)
+    if kind < p.mix.payment then begin
+      let bal = Amount.to_int (Sc_wallet.balance wallet st) in
+      if bal < 2 then fund ()
+      else begin
+        let amount = 1 + Rng.int rng (min 50_000 (bal / 2)) in
+        match
+          Sc_wallet.build_payment wallet st ~to_:(Rng.pick rng addrs)
+            ~amount:(Amount.of_int_exn amount)
+        with
+        | Error _ -> fund ()
+        | Ok tx -> submit_sc "payment" tx
+      end
+    end
+    else if kind < p.mix.payment + p.mix.ft then fund ()
+    else begin
+      match List.rev (Sc_wallet.utxos wallet st) with
+      | smallest :: _ -> (
+        match
+          Sc_wallet.build_backward_transfer wallet st ~utxo:smallest
+            ~mc_receiver:
+              (Hash.tagged "workload.mc" [ string_of_int (Rng.int rng 1000) ])
+        with
+        | Error _ -> fund ()
+        | Ok tx -> submit_sc "bt" tx)
+      | [] -> fund ()
+    end
+  end
+
+let inject_workload t ~tick_no =
+  match t.workload with
+  | None -> ()
+  | Some d ->
+    List.iteri
+      (fun idx sc -> inject_workload_for t d ~tick_no ~idx sc)
+      (sidechains t)
+
+let workload_injected t =
+  match t.workload with None -> 0 | Some d -> d.wl_injected
 
 let ticks = Zen_obs.Counter.make ~help:"Harness rounds executed" "sim.ticks"
 
@@ -389,6 +512,7 @@ let tick t =
   @@ fun () ->
   inject_tick_faults t ~tick_no;
   mine t;
+  inject_workload t ~tick_no;
   List.iter
     (fun sc ->
       (match Node.forge sc.node ~mc:t.chain ~slot:t.time () with

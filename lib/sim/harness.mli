@@ -72,7 +72,11 @@ type t = {
   mutable reorgs : (int * int) list;
       (** every reorg the harness processed, as [(tick, depth)], newest
           first *)
+  mutable workload : workload_driver option;
+      (** live-traffic driver, attached by {!set_workload} *)
 }
+
+and workload_driver
 
 val create :
   ?pow:Pow.params ->
@@ -131,6 +135,20 @@ val add_latus :
     sidechains share one compiled circuit family (compilation is the
     expensive part); [pool] hands the node a multicore worker pool for
     epoch-proof folding (default: the harness pool). *)
+
+val set_workload :
+  t -> profile:Workload.profile -> seed:int -> (unit, string) result
+(** Attaches a live-traffic driver: each subsequent {!tick} draws one
+    transaction kind per sidechain from the profile's mix (BTR folded
+    into BT at this layer) behind a diurnal gate shaped by the
+    profile's phases/burst, and submits a real signed transaction to
+    that node — payments and BTs from a per-sidechain workload wallet,
+    FTs (also the funding fallback) from the harness wallet. Injection
+    and its log lines are a pure function of [(seed, profile)]; with no
+    workload attached, ticks behave exactly as before. *)
+
+val workload_injected : t -> int
+(** Transactions the workload driver has submitted so far. *)
 
 val forward_transfer :
   t -> sidechain -> receiver:Hash.t -> payback:Hash.t -> amount:Amount.t ->

@@ -1,0 +1,400 @@
+(* The million-user-soak layer: batched state updates must be
+   observationally identical to the per-key paths they replace
+   (Smt.update_batch, Mst.apply_ops, Sc_tx.apply_steps,
+   Utxo_set.apply_batch and the per-address coin index), checkpoints
+   must behave like replay, the workload engine must be a pure function
+   of (seed, profile) whatever the batching/snapshot switches, and the
+   ported Sc_mempool must fix the O(n²) admission and reorg
+   double-queue bugs. *)
+
+open Zen_crypto
+open Zen_mainchain
+open Zen_latus
+open Zendoo
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let amount n = Amount.of_int_exn n
+
+let prop ?(count = 30) ?print name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen f)
+
+(* ---- Smt.update_batch ≡ fold of set/remove ---- *)
+
+let smt_depth = 6
+
+let gen_smt_updates =
+  QCheck2.Gen.(
+    list_size (int_range 0 48)
+      (pair (int_bound ((1 lsl smt_depth) - 1))
+         (map (Option.map (fun v -> v + 1)) (option (int_bound 1000)))))
+
+let show_smt_updates ups =
+  String.concat ";"
+    (List.map
+       (fun (p, v) ->
+         match v with
+         | Some v -> Printf.sprintf "%d<-%d" p v
+         | None -> Printf.sprintf "%d<-_" p)
+       ups)
+
+let smt_batch_equiv =
+  prop ~count:60 ~print:show_smt_updates "update_batch ≡ set/remove fold"
+    gen_smt_updates (fun ups ->
+      (* start from a non-empty tree so removals have targets *)
+      let t0 =
+        List.fold_left
+          (fun t i -> Smt.set t (7 * i mod 64) (Fp.of_int (i + 1)))
+          (Smt.create ~depth:smt_depth)
+          (List.init 10 Fun.id)
+      in
+      let ups = List.map (fun (p, v) -> (p, Option.map Fp.of_int v)) ups in
+      let seq =
+        List.fold_left
+          (fun t (p, v) ->
+            match v with Some x -> Smt.set t p x | None -> Smt.remove t p)
+          t0 ups
+      in
+      let batch = ok (Smt.update_batch t0 ups) in
+      Fp.equal (Smt.root seq) (Smt.root batch)
+      && Smt.occupied seq = Smt.occupied batch)
+
+let smt_batch_bounds () =
+  let t = Smt.create ~depth:4 in
+  (match Smt.update_batch t [ (16, Some Fp.one) ] with
+  | Error e -> checks "out of range" "smt: position out of range" e
+  | Ok _ -> Alcotest.fail "expected out-of-range error");
+  match Smt.update_batch t [ (-1, None) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected out-of-range error"
+
+(* ---- Mst.apply_ops ≡ sequential insert/remove ---- *)
+
+let wl_params =
+  let p = { Params.default with mst_depth = 8 } in
+  match Params.validate p with Ok () -> p | Error e -> failwith e
+
+let mk_utxo i =
+  Utxo.make
+    ~addr:(Hash.of_string (Printf.sprintf "wl.addr.%d" (i mod 4)))
+    ~amount:(amount ((i mod 9) + 1))
+    ~nonce:(Hash.of_string (Printf.sprintf "wl.nonce.%d" i))
+
+let gen_mst_ops =
+  (* indices into a small utxo universe: collisions in slots, repeated
+     inserts and removes of the same utxo all arise naturally *)
+  QCheck2.Gen.(
+    list_size (int_range 0 24) (pair bool (int_bound 15)))
+
+let show_mst_ops ops =
+  String.concat ";"
+    (List.map
+       (fun (ins, i) -> Printf.sprintf "%s%d" (if ins then "+" else "-") i)
+       ops)
+
+let mst_ops_equiv =
+  prop ~count:60 ~print:show_mst_ops "apply_ops ≡ insert/remove fold"
+    gen_mst_ops (fun ops ->
+      let t0 = Mst.create wl_params in
+      let ops =
+        List.map
+          (fun (ins, i) ->
+            let u = mk_utxo i in
+            if ins then Mst.Op_insert u else Mst.Op_remove u)
+          ops
+      in
+      let seq =
+        List.fold_left
+          (fun acc op ->
+            Result.bind acc (fun t ->
+                match op with
+                | Mst.Op_insert u -> Result.map fst (Mst.insert t u)
+                | Mst.Op_remove u -> Result.map fst (Mst.remove t u)))
+          (Ok t0) ops
+      in
+      match (seq, Mst.apply_ops t0 ops) with
+      | Error a, Error b -> String.equal a b
+      | Ok a, Ok b ->
+        Fp.equal (Mst.root a) (Mst.root b)
+        && Mst.occupied a = Mst.occupied b
+        && List.equal
+             (fun (i, _) (j, _) -> i = j)
+             (Mst.all_utxos a) (Mst.all_utxos b)
+      | _ -> false)
+
+(* ---- Sc_tx.apply_steps batched ≡ sequential ---- *)
+
+let gen_steps =
+  QCheck2.Gen.(list_size (int_range 0 20) (pair (int_bound 2) (int_bound 15)))
+
+let show_steps steps =
+  String.concat ";"
+    (List.map (fun (k, i) -> Printf.sprintf "%d:%d" k i) steps)
+
+let apply_steps_equiv =
+  prop ~count:60 ~print:show_steps "apply_steps batched ≡ sequential"
+    gen_steps (fun steps ->
+      let st0 = Sc_state.create wl_params in
+      let steps =
+        List.map
+          (fun (k, i) ->
+            match k with
+            | 0 -> Sc_tx.Insert (mk_utxo i)
+            | 1 -> Sc_tx.Remove (mk_utxo i)
+            | _ ->
+              Sc_tx.Append_bt
+                (Backward_transfer.make
+                   ~receiver_addr:(Hash.of_string (string_of_int i))
+                   ~amount:(amount (i + 1))))
+          steps
+      in
+      match
+        ( Sc_tx.apply_steps ~batched:false st0 steps,
+          Sc_tx.apply_steps ~batched:true st0 steps )
+      with
+      | Error a, Error b -> String.equal a b
+      | Ok a, Ok b ->
+        Fp.equal (Sc_state.hash a) (Sc_state.hash b)
+        && Sc_state.bt_count a = Sc_state.bt_count b
+      | _ -> false)
+
+(* ---- Sc_state checkpoints ---- *)
+
+let checkpoint_restores () =
+  let st0 = Sc_state.create wl_params in
+  let st1 =
+    ok
+      (Sc_tx.apply_steps st0
+         (List.init 6 (fun i -> Sc_tx.Insert (mk_utxo i))))
+  in
+  let cp = Sc_state.checkpoint st1 in
+  let st2 =
+    ok
+      (Sc_tx.apply_steps st1
+         [
+           Sc_tx.Remove (mk_utxo 0);
+           Sc_tx.Insert (mk_utxo 9);
+           Sc_tx.Append_bt
+             (Backward_transfer.make ~receiver_addr:Hash.zero
+                ~amount:(amount 1));
+         ])
+  in
+  checkb "state moved" false
+    (Fp.equal (Sc_state.hash st1) (Sc_state.hash st2));
+  let back = Sc_state.restore cp in
+  checkb "restored ≡ original" true
+    (Fp.equal (Sc_state.hash st1) (Sc_state.hash back));
+  checki "bts restored" (Sc_state.bt_count st1) (Sc_state.bt_count back)
+
+(* ---- Utxo_set: per-address index ≡ naive scan ---- *)
+
+let addr_of i = Hash.of_string (Printf.sprintf "us.addr.%d" (i mod 3))
+let op_of i = { Tx.txid = Hash.of_string (string_of_int (i mod 8)); vout = 0 }
+
+let gen_us_ops =
+  (* (outpoint, Some (addr, amount) | None): a small outpoint space and
+     3 addresses force overwrites that move a coin between buckets *)
+  QCheck2.Gen.(
+    list_size (int_range 0 30)
+      (pair (int_bound 7) (option (pair (int_bound 5) (int_bound 100)))))
+
+let show_us_ops ops =
+  String.concat ";"
+    (List.map
+       (fun (o, c) ->
+         match c with
+         | Some (a, v) -> Printf.sprintf "%d<-a%dv%d" o a v
+         | None -> Printf.sprintf "%d<-_" o)
+       ops)
+
+let us_index_equiv =
+  prop ~count:60 ~print:show_us_ops "coins_of_addr ≡ naive fold scan"
+    gen_us_ops (fun ops ->
+      let changes =
+        List.map
+          (fun (o, c) ->
+            ( op_of o,
+              Option.map
+                (fun (a, v) ->
+                  {
+                    Utxo_set.addr = addr_of a;
+                    amount = amount (v + 1);
+                    spendable_after = 0;
+                  })
+                c ))
+          ops
+      in
+      let seq =
+        List.fold_left
+          (fun t (o, c) ->
+            match c with
+            | Some coin -> Utxo_set.add t o coin
+            | None -> Utxo_set.remove t o)
+          Utxo_set.empty changes
+      in
+      let batch = Utxo_set.apply_batch Utxo_set.empty changes in
+      let naive t addr =
+        Utxo_set.fold t ~init: []
+          ~f:(fun acc op (coin : Utxo_set.coin) ->
+            if Hash.equal coin.addr addr then (op, coin) :: acc else acc)
+        |> List.rev
+        |> List.sort (fun (a, _) (b, _) ->
+               String.compare (Tx.outpoint_encode b) (Tx.outpoint_encode a))
+      in
+      let same_coins t =
+        List.for_all
+          (fun a ->
+            let addr = addr_of a in
+            List.equal
+              (fun (o1, (c1 : Utxo_set.coin)) (o2, (c2 : Utxo_set.coin)) ->
+                Tx.outpoint_equal o1 o2
+                && Hash.equal c1.addr c2.addr
+                && Amount.to_int c1.amount = Amount.to_int c2.amount)
+              (Utxo_set.coins_of_addr t addr)
+              (naive t addr))
+          [ 0; 1; 2 ]
+      in
+      Utxo_set.cardinal seq = Utxo_set.cardinal batch
+      && same_coins seq && same_coins batch)
+
+(* ---- Sc_mempool: the bugs it fixes ---- *)
+
+(* Distinct txids are all the pool tests need. *)
+let mk_bt i =
+  Sc_tx.Forward_transfers_tx
+    { mcid = Hash.of_string (Printf.sprintf "pool.%d" i); fts = [] }
+
+let mempool_dedups () =
+  let tx = mk_bt 1 in
+  let m = Sc_mempool.add (Sc_mempool.add Sc_mempool.empty tx) tx in
+  checki "duplicate submit pools once" 1 (Sc_mempool.size m);
+  checkb "member" true (Sc_mempool.mem m (Sc_tx.txid tx))
+
+let mempool_fifo_and_reinject () =
+  let a = mk_bt 1 and b = mk_bt 2 and c = mk_bt 3 in
+  let m = List.fold_left Sc_mempool.add Sc_mempool.empty [ a; b; c ] in
+  checkb "fifo order" true
+    (List.map Sc_tx.txid (Sc_mempool.txs m)
+    = List.map Sc_tx.txid [ a; b; c ]);
+  let m = Sc_mempool.remove_included m [ a; c ] in
+  checki "included removed" 1 (Sc_mempool.size m);
+  (* a reorg recovers [a; c; a]: the duplicate a and the still-pooled b
+     must not double-queue, and recovered txs go to the front *)
+  let m = Sc_mempool.reinject_front m [ a; c; a; b ] in
+  checki "no double-queue" 3 (Sc_mempool.size m);
+  checkb "recovered re-forge first" true
+    (List.map Sc_tx.txid (Sc_mempool.txs m)
+    = List.map Sc_tx.txid [ a; c; b ])
+
+(* ---- the workload engine ---- *)
+
+let tiny =
+  {
+    Zen_sim.Workload.smoke with
+    name = "tiny";
+    users = 200;
+    txs_per_epoch = 120;
+    epochs = 2;
+    phases = 4;
+    mst_depth = 8;
+    seed_coins = 30;
+    reorg_every = 2;
+  }
+
+let run_wl ?batched ?snapshots () =
+  let buf = Buffer.create 256 in
+  let s =
+    ok
+      (Zen_sim.Workload.run ?batched ?snapshots
+         ~log:(fun l ->
+           Buffer.add_string buf l;
+           Buffer.add_char buf '\n')
+         ~seed:11 tiny)
+  in
+  (s, Buffer.contents buf)
+
+let workload_deterministic () =
+  let a, la = run_wl () in
+  let b, lb = run_wl () in
+  checkb "replay digest" true (Hash.equal a.Zen_sim.Workload.digest b.digest);
+  checks "replay log" la lb;
+  checkb "work happened" true (a.applied > 50);
+  checkb "reorgs happened" true (a.rollbacks > 0)
+
+let workload_mode_independent () =
+  let a, la = run_wl () in
+  let nb, lnb = run_wl ~batched:false () in
+  let ns, lns = run_wl ~snapshots:false () in
+  checks "per-key log identical" la lnb;
+  checks "replay-rollback log identical" la lns;
+  checkb "per-key digest" true
+    (Hash.equal a.Zen_sim.Workload.digest nb.digest);
+  checkb "replay-rollback digest" true (Hash.equal a.digest ns.digest);
+  checkb "snapshots avoid replay work" true
+    (ns.replayed_phases > a.replayed_phases)
+
+let workload_profile_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = Zen_sim.Workload.to_string p in
+      let p' = ok (Zen_sim.Workload.of_string s) in
+      checks "builtin name survives" p.Zen_sim.Workload.name p'.name;
+      checks "builtin string survives" s (Zen_sim.Workload.to_string p'))
+    Zen_sim.Workload.builtins;
+  (* a non-builtin round-trips through the custom syntax *)
+  let s = Zen_sim.Workload.to_string tiny in
+  let tiny' = ok (Zen_sim.Workload.of_string s) in
+  checks "custom string survives" s (Zen_sim.Workload.to_string tiny');
+  checki "custom fields survive" tiny.txs_per_epoch tiny'.txs_per_epoch;
+  let custom = ok (Zen_sim.Workload.of_string "u9:z50:t9:e1:p2:b10:m25-25-25-25:d6:s3:r0") in
+  checki "custom users" 9 custom.users;
+  checki "custom bt share" 25 custom.mix.bt;
+  match Zen_sim.Workload.of_string "u9:nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+(* ---- the harness driver ---- *)
+
+let harness_log ~seed ~profile ~ticks =
+  let pool = Pool.sequential in
+  let h = Zen_sim.Harness.create ~pool ~seed () in
+  Zen_sim.Harness.fund h ~blocks:5;
+  let family = Circuits.make Params.default in
+  let (_ : Zen_sim.Harness.sidechain) =
+    ok
+      (Zen_sim.Harness.add_latus h ~name:"sc" ~family ~epoch_len:4
+         ~submit_len:2 ~activation_delay:1 ())
+  in
+  ok (Zen_sim.Harness.set_workload h ~profile ~seed:5);
+  Zen_sim.Harness.tick_n h ticks;
+  (String.concat "\n" (Zen_sim.Harness.dump_log h),
+   Zen_sim.Harness.workload_injected h)
+
+let harness_driver_deterministic () =
+  let la, na = harness_log ~seed:"wl.h" ~profile:tiny ~ticks:8 in
+  let lb, nb = harness_log ~seed:"wl.h" ~profile:tiny ~ticks:8 in
+  checks "harness workload log replays" la lb;
+  checki "same injection count" na nb;
+  checkb "traffic injected" true (na > 0)
+
+let suite =
+  ( "workload",
+    [
+      smt_batch_equiv;
+      Alcotest.test_case "smt batch bounds" `Quick smt_batch_bounds;
+      mst_ops_equiv;
+      apply_steps_equiv;
+      Alcotest.test_case "checkpoint restore" `Quick checkpoint_restores;
+      us_index_equiv;
+      Alcotest.test_case "mempool dedups" `Quick mempool_dedups;
+      Alcotest.test_case "mempool fifo + reinject" `Quick
+        mempool_fifo_and_reinject;
+      Alcotest.test_case "engine deterministic" `Quick workload_deterministic;
+      Alcotest.test_case "engine mode-independent" `Quick
+        workload_mode_independent;
+      Alcotest.test_case "profile codec" `Quick workload_profile_roundtrip;
+      Alcotest.test_case "harness driver deterministic" `Slow
+        harness_driver_deterministic;
+    ] )

@@ -24,4 +24,5 @@ let () =
       T_scale.suite;
       T_aggregate.suite;
       T_codec_fuzz.suite;
+      T_workload.suite;
     ]
