@@ -1341,6 +1341,127 @@ let e17_soak () =
   Util.note "index speedup %.0fx on %d coins / %d addresses"
     (naive_t /. indexed_t) n_coins n_addrs
 
+(* ---- E18: pipelined epoch proving ---- *)
+
+let e18_pipeline () =
+  Util.header "E18 pipeline (pipelined epoch proving)"
+    "Proof_pipeline takes base-proof generation off the forge path and\n\
+     folds completed proofs through the online balanced merge between\n\
+     ticks, leaving certify time only the <= ceil(log2 n) binary-counter\n\
+     carry merges plus the binding check — against the burst path that\n\
+     proves and fold_balances all n leaves at the epoch boundary. The\n\
+     run log must be byte-identical pipeline on or off, for every\n\
+     domain count; only latency moves.";
+  let params = Params.default in
+  let family = Circuits.make params in
+  let run ~pipeline ~domains =
+    let pool = Pool.get ~domains in
+    let h = Zen_sim.Harness.create ~pool ~pipeline ~seed:"e18" () in
+    Zen_sim.Harness.fund h ~blocks:5;
+    let sc =
+      match
+        Zen_sim.Harness.add_latus h ~name:"sc" ~family ~epoch_len:6
+          ~submit_len:5 ~activation_delay:1 ()
+      with
+      | Ok sc -> sc
+      | Error e -> failwith ("e18: " ^ e)
+    in
+    (match
+       Zen_sim.Harness.set_workload h ~profile:Zen_sim.Workload.smoke ~seed:18
+     with
+    | Ok () -> ()
+    | Error e -> failwith ("e18: " ^ e));
+    let ticks = ref [] in
+    let t_all = Unix.gettimeofday () in
+    for i = 1 to 24 do
+      let t = Unix.gettimeofday () in
+      (* inside the measured window so the sentinel's negative control
+         (ZENDOO_BENCH_HANDICAP_MS) shows up in tick max and wall *)
+      if i = 1 then Util.handicap_pause ();
+      Zen_sim.Harness.tick h;
+      ticks := (Unix.gettimeofday () -. t) :: !ticks
+    done;
+    let wall = Unix.gettimeofday () -. t_all in
+    let digest =
+      Hash.of_string (String.concat "\n" (Zen_sim.Harness.dump_log h))
+    in
+    ( Array.of_list (List.rev !ticks),
+      wall,
+      digest,
+      Node.certificate_stats sc.node )
+  in
+  let pct arr q =
+    let a = Array.copy arr in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let results =
+    List.map
+      (fun domains ->
+        let on = run ~pipeline:true ~domains in
+        let off = run ~pipeline:false ~domains in
+        (domains, on, off))
+      [ 1; 2; 4 ]
+  in
+  let row mode domains (ticks, wall, _, _) =
+    [
+      mode;
+      string_of_int domains;
+      Util.pp_seconds (pct ticks 0.50);
+      Util.pp_seconds (pct ticks 0.99);
+      Util.pp_seconds (pct ticks 1.0);
+      Util.pp_seconds wall;
+    ]
+  in
+  Util.table
+    ~columns:[ "mode"; "domains"; "tick p50"; "tick p99"; "tick max"; "wall" ]
+    (List.concat_map
+       (fun (domains, on, off) ->
+         [ row "pipelined" domains on; row "burst" domains off ])
+       results);
+  let digest_of (_, _, d, _) = d in
+  let _, on1, _ = List.hd results in
+  Util.note "log digest identical pipeline on/off: %b; across domains: %b\n"
+    (List.for_all
+       (fun (_, on, off) -> Hash.equal (digest_of on) (digest_of off))
+       results)
+    (List.for_all
+       (fun (_, on, _) -> Hash.equal (digest_of on) (digest_of on1))
+       results);
+  (* Certify-path accounting: deterministic in the seed, so identical
+     for every row above (taken from the 1-domain pipelined run). *)
+  let _, _, _, stats = on1 in
+  Util.table
+    ~columns:
+      [ "epoch"; "leaves"; "certify merges (pipelined)"; "burst merges";
+        "bound ceil(log2 n)" ]
+    (List.map
+       (fun (cs : Proof_pipeline.certificate_stats) ->
+         let bound =
+           let rec go acc p =
+             if p >= cs.cert_leaves then acc else go (acc + 1) (p * 2)
+           in
+           if cs.cert_leaves <= 1 then 0 else go 0 1
+         in
+         [
+           string_of_int cs.cert_epoch;
+           string_of_int cs.cert_leaves;
+           string_of_int cs.cert_carry_merges;
+           string_of_int (max 0 (cs.cert_leaves - 1));
+           string_of_int bound;
+         ])
+       stats);
+  Util.note "all certify-path merge counts within ceil(log2 n) + 1: %b\n"
+    (List.for_all
+       (fun (cs : Proof_pipeline.certificate_stats) ->
+         let rec bound acc p =
+           if p >= cs.cert_leaves then acc else bound (acc + 1) (p * 2)
+         in
+         cs.cert_carry_merges
+         <= (if cs.cert_leaves <= 1 then 0 else bound 0 1) + 1)
+       stats)
+
 let all =
   [
     ("E1", e1_mht_scaling);
@@ -1360,4 +1481,5 @@ let all =
     ("E15", e15_mc_scale);
     ("E16", e16_template);
     ("E17", e17_soak);
+    ("E18", e18_pipeline);
   ]

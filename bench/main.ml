@@ -1,4 +1,4 @@
-(* Benchmark entry point: runs every experiment table (E1–E17,
+(* Benchmark entry point: runs every experiment table (E1–E18,
    EXPERIMENTS.md) and the bechamel micro section.
 
    Usage:

@@ -93,7 +93,8 @@ let attach_workload h ~workload ~seed =
   | Some profile -> Zen_sim.Harness.set_workload h ~profile ~seed
 
 let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
-    aggregate workload no_cache no_template_cache metrics trace_out report =
+    aggregate no_pipeline workload no_cache no_template_cache metrics trace_out
+    report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
@@ -110,7 +111,10 @@ let simulate seed ticks epoch_len submit_len fts withhold sidechains domains
     (* The process-wide persistent pool: spawned once, reused by every
        operation in the run, joined by the registry's at_exit hook. *)
     let pool = Pool.get ~domains:(resolve_domains domains) in
-    let h = Zen_sim.Harness.create ~pool ~aggregate ~seed () in
+    let h =
+      Zen_sim.Harness.create ~pool ~aggregate ~pipeline:(not no_pipeline) ~seed
+        ()
+    in
     Zen_sim.Harness.fund h ~blocks:5;
     let family = Circuits.make Params.default in
     match register_sidechains h ~n:sidechains ~family ~epoch_len ~submit_len with
@@ -214,8 +218,8 @@ let keys mst_depth =
 
 (* ---- prove ---- *)
 
-let prove steps domains workers mst_depth seed no_template_cache metrics
-    trace_out report =
+let prove steps domains workers mst_depth seed no_pipeline no_template_cache
+    metrics trace_out report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   let params = { Params.default with mst_depth } in
@@ -250,19 +254,29 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
     in
     let pool = Pool.get ~domains in
     let t0 = Unix.gettimeofday () in
-    (match
-       Prover_pool.prove_epoch ~pool family ~initial:st ~steps:workload
-         ~workers ~seed
-     with
+    (* Both paths print the same fields from the same data: the proof
+       digest line is byte-identical with or without --no-pipeline (CI
+       compares the two). *)
+    let outcome =
+      if no_pipeline then
+        match
+          Prover_pool.prove_epoch ~pool family ~initial:st ~steps:workload
+            ~workers ~seed
+        with
+        | Error e -> Error e
+        | Ok (proofs, stats) -> (
+          match Prover_pool.merge_all ~pool family rsys proofs with
+          | Error e -> Error e
+          | Ok top -> Ok (proofs, stats, top))
+      else
+        Prover_pool.prove_and_merge ~pool family rsys ~initial:st
+          ~steps:workload ~workers ~seed
+    in
+    (match outcome with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
-    | Ok (proofs, stats) -> (
-      match Prover_pool.merge_all ~pool family rsys proofs with
-      | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        1
-      | Ok top ->
+    | Ok (_proofs, stats, top) ->
         let total = Unix.gettimeofday () -. t0 in
         Printf.printf
           "epoch of %d steps proven on %d domain(s) \
@@ -291,7 +305,7 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
                 stats.Prover_pool.rewards));
         report_extras :=
           [ ("workers", Prover_pool.worker_costs_json stats) ];
-        0))
+        0)
 
 (* ---- chaos ---- *)
 
@@ -299,8 +313,8 @@ let prove steps domains workers mst_depth seed no_template_cache metrics
    function of (seed, plan): no wall-clock values, no machine state.
    CI runs the command twice and byte-compares the logs. *)
 let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
-    workload intensity plan_str log_out no_template_cache metrics trace_out
-    report =
+    no_pipeline workload intensity plan_str log_out no_template_cache metrics
+    trace_out report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   Circuits.set_use_templates (not no_template_cache);
   if sidechains < 1 then begin
@@ -335,7 +349,8 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
     let faults = Zen_sim.Faults.create ~seed plan in
     let pool = Pool.get ~domains:(resolve_domains domains) in
     let h =
-      Zen_sim.Harness.create ~pool ~aggregate ~faults
+      Zen_sim.Harness.create ~pool ~aggregate ~pipeline:(not no_pipeline)
+        ~faults
         ~seed:(Printf.sprintf "chaos.%d" seed) ()
     in
     Zen_sim.Harness.fund h ~blocks:5;
@@ -452,7 +467,8 @@ let chaos seed ticks epoch_len submit_len fts sidechains domains aggregate
    replays the command and byte-compares, and also compares
    --no-batch / --no-snapshots logs against the default run. Perf
    numbers (wall clock, throughput, heap) go to stdout only. *)
-let soak profile_str seed no_batch no_snapshots log_out metrics trace_out
+let soak profile_str seed no_batch no_snapshots _no_pipeline log_out metrics
+    trace_out
     report =
   with_obs ~metrics ~trace_out ~report @@ fun () ->
   match Zen_sim.Workload.of_string profile_str with
@@ -536,6 +552,17 @@ let aggregate_t =
            regardless of sidechain count. Decisions and logs are identical \
            either way.")
 
+let no_pipeline_t =
+  Arg.(
+    value & flag
+    & info [ "no-pipeline" ]
+        ~doc:
+          "Disable pipelined epoch proving: prove every transition \
+           synchronously on the forge path and fold the whole epoch's \
+           merge tree at certify time (the pre-pipeline behaviour). \
+           Certificates, decisions and logs are byte-identical either \
+           way; only latency moves.")
+
 let no_cache_t =
   Arg.(
     value & flag
@@ -600,8 +627,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a mainchain + Latus sidechain world")
     Term.(
       const simulate $ seed_t $ ticks $ epoch_len $ submit_len $ fts $ withhold
-      $ sidechains_t $ domains_t $ aggregate_t $ workload_t $ no_cache_t
-      $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
+      $ sidechains_t $ domains_t $ aggregate_t $ no_pipeline_t $ workload_t
+      $ no_cache_t $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let schedule_cmd =
   let start = Arg.(value & opt int 100 & info [ "start" ] ~doc:"Activation height.") in
@@ -640,7 +667,7 @@ let prove_cmd =
          "Prove one epoch on a multicore Domain pool and print measured \
           wall-clock stats")
     Term.(
-      const prove $ steps $ domains_t $ workers $ depth $ seed
+      const prove $ steps $ domains_t $ workers $ depth $ seed $ no_pipeline_t
       $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let chaos_cmd =
@@ -700,8 +727,8 @@ let chaos_cmd =
           replayable log")
     Term.(
       const chaos $ seed $ ticks $ epoch_len $ submit_len $ fts $ sidechains_t
-      $ domains_t $ aggregate_t $ workload_t $ intensity $ plan $ log_out
-      $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
+      $ domains_t $ aggregate_t $ no_pipeline_t $ workload_t $ intensity $ plan
+      $ log_out $ no_template_cache_t $ metrics_t $ trace_out_t $ report_t)
 
 let soak_cmd =
   let profile =
@@ -733,6 +760,15 @@ let soak_cmd =
              an O(1) copy-on-write checkpoint. Logs and digest are \
              identical either way.")
   in
+  let no_pipeline =
+    Arg.(
+      value & flag
+      & info [ "no-pipeline" ]
+          ~doc:
+            "Accepted for symmetry with $(b,simulate)/$(b,chaos): the \
+             state-layer soak does no proving, so the flag changes nothing. \
+             Logs and digest are identical either way.")
+  in
   let log_out =
     Arg.(
       value
@@ -748,8 +784,8 @@ let soak_cmd =
          "Drive the deterministic workload engine against the batched \
           state layer and print throughput")
     Term.(
-      const soak $ profile $ seed $ no_batch $ no_snapshots $ log_out
-      $ metrics_t $ trace_out_t $ report_t)
+      const soak $ profile $ seed $ no_batch $ no_snapshots $ no_pipeline
+      $ log_out $ metrics_t $ trace_out_t $ report_t)
 
 let () =
   let doc = "Zendoo cross-chain transfer protocol simulator" in

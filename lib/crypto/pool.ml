@@ -349,3 +349,79 @@ let map_array t ?chunk ?cost f arr =
 let map_list t ?chunk ?cost f l =
   if t.domains = 1 then List.map f l
   else Array.to_list (map_array t ?chunk ?cost f (Array.of_list l))
+
+(* ---- single-task futures ----
+
+   A future is a one-shot task whose execution site is decided late:
+   a spawned worker may pick it off the queue, or whoever awaits it
+   runs it inline if no worker got there first (the same
+   caller-participates rule as the chunked operations, so a sequential
+   or shut-down pool degrades to deterministic inline execution instead
+   of deadlocking). The claim transition Pending -> Running happens
+   under the future's own mutex, so exactly one party runs the thunk;
+   everyone else blocks on the condition until Done. *)
+
+type 'a fstate =
+  | FPending of (unit -> 'a)
+  | FRunning
+  | FDone of ('a, exn) result
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable fstate : 'a fstate;
+}
+
+let async_submitted =
+  Zen_obs.Counter.make ~help:"Futures submitted to pool queues"
+    "pool.async.submitted"
+
+(* Runs the thunk if (and only if) this caller wins the claim. *)
+let run_future fut =
+  Mutex.lock fut.fmutex;
+  match fut.fstate with
+  | FRunning | FDone _ -> Mutex.unlock fut.fmutex
+  | FPending th ->
+    fut.fstate <- FRunning;
+    Mutex.unlock fut.fmutex;
+    let r = try Ok (th ()) with e -> Error e in
+    Mutex.lock fut.fmutex;
+    fut.fstate <- FDone r;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.fmutex
+
+let async t th =
+  let fut =
+    { fmutex = Mutex.create (); fcond = Condition.create (); fstate = FPending th }
+  in
+  if t.domains > 1 then begin
+    Mutex.lock t.mutex;
+    if not t.closed then begin
+      Zen_obs.Counter.incr async_submitted;
+      Queue.push (fun () -> run_future fut) t.queue;
+      Condition.signal t.work
+    end;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let poll fut =
+  Mutex.lock fut.fmutex;
+  let r = match fut.fstate with FDone _ -> true | _ -> false in
+  Mutex.unlock fut.fmutex;
+  r
+
+let await fut =
+  run_future fut;
+  (* Either we just ran it, or a worker holds it: wait for Done. *)
+  Mutex.lock fut.fmutex;
+  let rec settle () =
+    match fut.fstate with
+    | FDone r ->
+      Mutex.unlock fut.fmutex;
+      (match r with Ok v -> v | Error e -> raise e)
+    | FPending _ | FRunning ->
+      Condition.wait fut.fcond fut.fmutex;
+      settle ()
+  in
+  settle ()

@@ -145,3 +145,36 @@ val map_array : t -> ?chunk:int -> ?cost:float -> ('a -> 'b) -> 'a array -> 'b a
 
 val map_list : t -> ?chunk:int -> ?cost:float -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] (same contract as {!init_array}). *)
+
+(** {2 Single-task futures}
+
+    The building block of pipelined proving ([Zen_latus.Proof_pipeline]):
+    a one-shot task submitted now and forced later, so independent work
+    (a base proof) can overlap with whatever the submitting domain does
+    next (forging the following block). The execution site is decided
+    late — a pool worker may pick the task up in the background, or the
+    caller runs it inline at {!await} if no worker got there first. The
+    same caller-participates rule as the chunked operations applies, so
+    with {!sequential} (or a shut-down pool) a future is simply deferred
+    sequential execution: submission queues nothing and {!await} runs
+    the thunk in the caller. Either way the thunk runs {b exactly once},
+    and for pure thunks the value is independent of where it ran. *)
+
+type 'a future
+(** A one-shot task; safe to share across domains. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** [async t f] submits [f] for background execution on [t]'s workers
+    (a no-op queue-wise when [t] has no workers). [f] must be pure in
+    the same sense as the chunked operations: no closing over shared
+    mutable state, randomness only from a pre-seeded generator. *)
+
+val poll : 'a future -> bool
+(** [poll fut] is [true] once the task has finished (with a value or an
+    exception). Never blocks and never runs the thunk. *)
+
+val await : 'a future -> 'a
+(** [await fut] returns the task's value, running the thunk inline if
+    no worker has claimed it yet, or blocking until the worker finishes
+    if one has. Re-raises the thunk's exception if it raised. Idempotent:
+    later awaits return the same result without re-running the thunk. *)

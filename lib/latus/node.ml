@@ -19,7 +19,10 @@ let config_for ~ledger_id ~start_block ~epoch_len ~submit_len family =
 type record = {
   block : Sc_block.t;
   state_after : Sc_state.t;
-  proofs : Recursive.transition_proof list; (* application order *)
+  proofs : Recursive.transition_proof list;
+      (* application order; empty when the pipeline carries the proofs *)
+  leaf_base : int; (* first pipeline leaf index of this block's epoch stream *)
+  leaf_count : int; (* pipeline leaves this block contributed *)
   wepoch : int;
   completes_epoch : int option;
 }
@@ -37,38 +40,52 @@ type t = {
   rsys : Recursive.system;
   forger : Sc_wallet.t;
   prove : bool;
-  pool : Pool.t; (* domains for epoch-proof folding (certificates) *)
+  pool : Pool.t; (* domains for proving and epoch-proof folding *)
+  pipeline : Proof_pipeline.t option; (* None: synchronous forge-path proving *)
+  retain_epochs : int;
   genesis_state : Sc_state.t;
   schedule : Epoch.schedule;
   mutable records : record list; (* newest first *)
+  mutable by_epoch : record list Int_map.t; (* newest first, per wepoch *)
   mutable mempool : Sc_mempool.t;
   mutable archives : epoch_archive Int_map.t; (* by certified epoch *)
 }
 
 let create ~config ~params ~family ~forger ?(prove = true)
-    ?(pool = Pool.sequential) () =
+    ?(pool = Pool.sequential) ?(pipeline = true) ?(retain_epochs = 8) () =
   match Params.validate params with
   | Error e -> Error e
   | Ok () ->
     if Sc_wallet.addresses forger = [] then
       Error "latus node: forger wallet has no keys"
-    else
+    else if retain_epochs < 2 then
+      Error "latus node: retain_epochs must be at least 2"
+    else begin
+      let rsys =
+        Recursive.create ~name:"latus" ~base_vks:(Circuits.base_vks family)
+      in
       Ok
         {
           config;
           params;
           fam = family;
-          rsys =
-            Recursive.create ~name:"latus" ~base_vks:(Circuits.base_vks family);
+          rsys;
           forger;
           prove;
           pool;
+          pipeline =
+            (if prove && pipeline then
+               Some (Proof_pipeline.create ~pool ~family ~rsys)
+             else None);
+          retain_epochs;
           genesis_state = Sc_state.create params;
           schedule = Epoch.of_config config;
           records = [];
+          by_epoch = Int_map.empty;
           mempool = Sc_mempool.empty;
           archives = Int_map.empty;
         }
+    end
 
 let params t = t.params
 let family t = t.fam
@@ -135,6 +152,14 @@ let leader_for_slot t ~slot =
 
 let ( let* ) = Result.bind
 
+let index_records records =
+  List.fold_left
+    (fun m r ->
+      Int_map.update r.wepoch
+        (function None -> Some [ r ] | Some rs -> Some (r :: rs))
+        m)
+    Int_map.empty (List.rev records)
+
 (* ---- MC reorg reconciliation ---- *)
 
 (* Drop sidechain blocks whose MC references are no longer on the MC
@@ -165,6 +190,22 @@ let reconcile t ~mc =
         dropped
     in
     t.records <- List.rev kept;
+    t.by_epoch <- index_records t.records;
+    (* Roll the proving pipeline back with the records: keep only the
+       leaves of blocks that survived. The first dropped record of each
+       epoch (oldest first in [dropped]) marks the cut. *)
+    (match t.pipeline with
+    | None -> ()
+    | Some p ->
+      let cuts =
+        List.fold_left
+          (fun m r ->
+            Int_map.update r.wepoch
+              (function None -> Some r.leaf_base | keep -> keep)
+              m)
+          Int_map.empty dropped
+      in
+      Int_map.iter (fun epoch keep -> Proof_pipeline.truncate p ~epoch ~keep) cuts);
     (* Front of the FIFO, deduplicated by txid: a payment that is both
        in a dropped block and still pooled (or dropped twice across
        branches) must not be double-queued. *)
@@ -208,24 +249,35 @@ let txs_of_refs refs =
       else [])
     refs
 
+(* Applies a transaction's steps to [state]. Proofs are either produced
+   here, synchronously ([proofs_rev]), or deferred: with a pipeline the
+   pre-step snapshots are collected ([snaps_rev]) and enqueued by the
+   caller once the block is definitely being committed, so an abandoned
+   block never pollutes the epoch's proof stream. Both accumulators are
+   built reversed and reversed once by the caller (the old
+   [proofs @ [tp]] append made validation quadratic in block size). *)
 let prove_and_apply t state tx =
   let* steps = Sc_tx.steps state tx in
+  let deferred = t.pipeline <> None in
   List.fold_left
     (fun acc step ->
-      let* state, proofs = acc in
-      let* proofs =
-        if not t.prove then Ok proofs
+      let* state, proofs_rev, snaps_rev = acc in
+      let* proofs_rev =
+        if (not t.prove) || deferred then Ok proofs_rev
         else begin
           let* proof, vk, s_from, s_to = Circuits.prove_step t.fam state step in
           let* tp =
             Recursive.of_base t.rsys ~vk ~s_from ~s_to ~extra:[||] proof
           in
-          Ok (proofs @ [ tp ])
+          Ok (tp :: proofs_rev)
         end
       in
+      let snaps_rev =
+        if deferred then (state, step) :: snaps_rev else snaps_rev
+      in
       let* state = Sc_tx.apply_step state step in
-      Ok (state, proofs))
-    (Ok (state, []))
+      Ok (state, proofs_rev, snaps_rev))
+    (Ok (state, [], []))
     steps
 
 let blocks_forged =
@@ -265,8 +317,9 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
       let wepoch = next_block_wepoch t in
       let sync_txs = txs_of_refs refs in
       (* Mempool transactions that became invalid (double spends after
-         a reorg, stale inputs) are dropped, not fatal. *)
-      let* state2, proofs2, included =
+         a reorg, stale inputs) are dropped, not fatal. All accumulators
+         are reversed lists (linear in block size, not quadratic). *)
+      let* state2, proofs2, snaps2, included =
         Zen_obs.Trace.with_span ~cat:"latus"
           ~args:
             [
@@ -275,25 +328,27 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
             ]
           "latus.validate"
         @@ fun () ->
-        let* state1, proofs1 =
+        let* state1, proofs1_rev, snaps1_rev =
           List.fold_left
             (fun acc tx ->
-              let* st, ps = acc in
-              let* st, ps' = prove_and_apply t st tx in
-              Ok (st, ps @ ps'))
-            (Ok (state0, []))
+              let* st, ps, sn = acc in
+              let* st, ps', sn' = prove_and_apply t st tx in
+              (* [ps'] is this tx's proofs reversed; prepending keeps the
+                 whole accumulator reversed at linear cost. *)
+              Ok (st, ps' @ ps, sn' @ sn))
+            (Ok (state0, [], []))
             sync_txs
         in
-        let state2, proofs2, included =
+        let state2, proofs_rev, snaps_rev, included_rev =
           List.fold_left
-            (fun (st, ps, inc) tx ->
+            (fun (st, ps, sn, inc) tx ->
               match prove_and_apply t st tx with
-              | Ok (st', ps') -> (st', ps @ ps', inc @ [ tx ])
-              | Error _ -> (st, ps, inc))
-            (state1, proofs1, [])
+              | Ok (st', ps', sn') -> (st', ps' @ ps, sn' @ sn, tx :: inc)
+              | Error _ -> (st, ps, sn, inc))
+            (state1, proofs1_rev, snaps1_rev, [])
             mempool_txs
         in
-        Ok (state2, proofs2, included)
+        Ok (state2, List.rev proofs_rev, List.rev snaps_rev, List.rev included_rev)
       in
       let parent =
         match tip_record t with
@@ -317,9 +372,36 @@ let forge t ~mc ~slot ?(enforce_leader = false) () =
           then Some wepoch
           else None
       in
-      t.records <-
-        { block; state_after = state2; proofs = proofs2; wepoch; completes_epoch }
-        :: t.records;
+      (* Commit point: the block definitely enters the chain, so its
+         proving tasks may now enter the epoch stream (enqueueing any
+         earlier would let an aborted forge pollute the certificate). *)
+      let leaf_base, leaf_count =
+        match t.pipeline with
+        | None -> (0, 0)
+        | Some p ->
+          let base = Proof_pipeline.leaves p ~epoch:wepoch in
+          List.iter
+            (fun (st, step) ->
+              Proof_pipeline.enqueue p ~epoch:wepoch ~state:st ~step)
+            snaps2;
+          (base, List.length snaps2)
+      in
+      let record =
+        {
+          block;
+          state_after = state2;
+          proofs = proofs2;
+          leaf_base;
+          leaf_count;
+          wepoch;
+          completes_epoch;
+        }
+      in
+      t.records <- record :: t.records;
+      t.by_epoch <-
+        Int_map.update wepoch
+          (function None -> Some [ record ] | Some rs -> Some (record :: rs))
+          t.by_epoch;
       t.mempool <- Sc_mempool.remove_included t.mempool included;
       Zen_obs.Counter.incr blocks_forged;
       Ok (Some block)
@@ -355,22 +437,108 @@ let certificate_target t ~mc =
     in
     min node_next mc_next
 
+(* Records of one withdrawal epoch, oldest first — O(log e + k) via the
+   epoch index instead of re-filtering the whole record list. *)
 let epoch_records t ~epoch =
-  List.rev (List.filter (fun r -> r.wepoch = epoch) t.records)
+  match Int_map.find_opt epoch t.by_epoch with
+  | None -> []
+  | Some rs -> List.rev rs
 
+(* The block completing [epoch] carries that epoch's last MC reference,
+   so it lives in [epoch]'s own bucket. *)
 let completing_record t ~epoch =
-  List.find_opt (fun r -> r.completes_epoch = Some epoch) t.records
+  match Int_map.find_opt epoch t.by_epoch with
+  | None -> None
+  | Some rs -> List.find_opt (fun r -> r.completes_epoch = Some epoch) rs
 
 let epoch_start_hash t ~epoch =
   if epoch = 0 then Sc_state.hash t.genesis_state
   else
     match completing_record t ~epoch:(epoch - 1) with
-    | None -> Sc_state.hash t.genesis_state
     | Some r -> Sc_state.hash (Sc_state.reset_epoch r.state_after)
+    | None -> (
+      (* The previous epoch's records may have been pruned below the
+         certified horizon; its archived end state commits to the same
+         hash the completing record would. *)
+      match Int_map.find_opt (epoch - 1) t.archives with
+      | Some a -> Sc_state.hash (Sc_state.reset_epoch a.end_state)
+      | None -> Sc_state.hash t.genesis_state)
+
+let records_pruned =
+  Zen_obs.Counter.make
+    ~help:"Sidechain block records pruned below the certified horizon"
+    "latus.records.pruned"
+
+(* Forget records of epochs long since certified by the mainchain. The
+   retention margin covers certificate rebuilds after a reorg reverts
+   recent certificates (storm reorgs are ≤ 3 MC blocks deep, well inside
+   the margin); withdrawals replay from [archives], which are kept. *)
+let prune_certified t ~mc =
+  let mc_state = Chain.tip_state mc in
+  match Sc_ledger.find mc_state.scs t.config.ledger_id with
+  | None -> ()
+  | Some s ->
+    let mc_next =
+      match Sc_ledger.last_cert s with
+      | None -> 0
+      | Some r -> r.cert.epoch_id + 1
+    in
+    let keep_from = mc_next - t.retain_epochs in
+    let stale =
+      match Int_map.min_binding_opt t.by_epoch with
+      | Some (e, _) -> e < keep_from
+      | None -> false
+    in
+    if stale then begin
+      let before = List.length t.records in
+      t.records <- List.filter (fun r -> r.wepoch >= keep_from) t.records;
+      t.by_epoch <- Int_map.filter (fun e _ -> e >= keep_from) t.by_epoch;
+      (match t.pipeline with
+      | Some p -> Proof_pipeline.drop_below p ~epoch:keep_from
+      | None -> ());
+      Zen_obs.Counter.add records_pruned (before - List.length t.records)
+    end
+
+let certify_s =
+  Zen_obs.Histogram.make ~help:"certificate build wall-clock (certify path)"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-4 ~factor:4. ~n:10)
+    "latus.certify.seconds"
+
+(* The epoch's recursive transition proof: either fold the synchronously
+   produced proofs in one burst (no pipeline — O(n) merges here, on the
+   certify path), or complete the pipeline's incremental fold (≤ ⌈log₂ n⌉
+   carry merges plus any straggler base proofs). Both produce the same
+   proof bytes and the same errors. *)
+let epoch_top_proof t ~epoch =
+  match t.pipeline with
+  | None -> (
+    let proofs = List.concat_map (fun r -> r.proofs) (epoch_records t ~epoch) in
+    match proofs with
+    | [] -> Ok None
+    | _ ->
+      let* top =
+        Zen_obs.Trace.with_span ~cat:"latus"
+          ~args:[ ("proofs", string_of_int (List.length proofs)) ]
+          "latus.fold"
+        @@ fun () -> Recursive.fold_balanced ~pool:t.pool t.rsys proofs
+      in
+      Ok (Some top))
+  | Some p -> (
+    match Proof_pipeline.leaves p ~epoch with
+    | 0 -> Ok None
+    | n ->
+      let* top =
+        Zen_obs.Trace.with_span ~cat:"latus"
+          ~args:[ ("proofs", string_of_int n) ]
+          "latus.fold"
+        @@ fun () -> Proof_pipeline.await_epoch p ~epoch
+      in
+      Ok (Some top))
 
 let build_certificate t ~mc =
   if not t.prove then Error "certificate: node runs with proving disabled"
   else begin
+    prune_certified t ~mc;
     let mc_now = Chain.tip_state mc in
     if Sc_ledger.is_ceased mc_now.scs t.config.ledger_id ~height:mc_now.height
     then Ok None (* a ceased sidechain can never certify again (Def. 4.2) *)
@@ -383,27 +551,23 @@ let build_certificate t ~mc =
         ~args:[ ("epoch", string_of_int epoch) ]
         "latus.certify"
       @@ fun () ->
+      Zen_obs.Histogram.time certify_s
+      @@ fun () ->
       let end_state = last_record.state_after in
       let s_prev = epoch_start_hash t ~epoch in
       let s_last = Sc_state.hash end_state in
-      let proofs = List.concat_map (fun r -> r.proofs) (epoch_records t ~epoch) in
       (* The §5.5.3.1 statement, checked natively before the binding
          proof is produced (simulation oracle, DESIGN.md §3): the
          epoch's recursive transition proof must verify and span
          exactly (s_prev → s_last). An epoch without transitions is
          the heartbeat case: the state must not have moved. *)
       let* () =
-        match proofs with
-        | [] ->
+        let* top = epoch_top_proof t ~epoch in
+        match top with
+        | None ->
           if Fp.equal s_prev s_last then Ok ()
           else Error "certificate: state moved without transition proofs"
-        | _ -> (
-          let* top =
-            Zen_obs.Trace.with_span ~cat:"latus"
-              ~args:[ ("proofs", string_of_int (List.length proofs)) ]
-              "latus.fold"
-            @@ fun () -> Recursive.fold_balanced ~pool:t.pool t.rsys proofs
-          in
+        | Some top ->
           if not (Recursive.verify t.rsys top) then
             Error "certificate: epoch transition proof rejected"
           else if
@@ -411,7 +575,7 @@ let build_certificate t ~mc =
               (Fp.equal (Recursive.s_from top) s_prev
               && Fp.equal (Recursive.s_to top) s_last)
           then Error "certificate: epoch proof endpoints mismatch"
-          else Ok ())
+          else Ok ()
       in
       let bt_list = Sc_state.backward_transfers end_state in
       let quality = last_record.block.height in
@@ -459,6 +623,23 @@ let build_certificate t ~mc =
       Zen_obs.Counter.incr certificates;
       Ok (Some (Tx.Certificate cert))
   end
+
+(* ---- Pipeline surface ---- *)
+
+let pump t =
+  match t.pipeline with Some p -> Proof_pipeline.pump p | None -> ()
+
+let pipeline_enabled t = t.pipeline <> None
+
+let pipeline_depth t =
+  match t.pipeline with Some p -> Proof_pipeline.outstanding p | None -> 0
+
+let certificate_stats t =
+  match t.pipeline with
+  | Some p -> List.rev (Proof_pipeline.certificate_log p)
+  | None -> []
+
+let retained_records t = List.length t.records
 
 let state_at_epoch_end t ~epoch =
   Option.map (fun a -> a.end_state) (Int_map.find_opt epoch t.archives)

@@ -38,15 +38,30 @@ val create :
   forger:Sc_wallet.t ->
   ?prove:bool ->
   ?pool:Pool.t ->
+  ?pipeline:bool ->
+  ?retain_epochs:int ->
   unit ->
   (t, string) result
 (** [prove:false] skips SNARK generation (consensus-only experiments);
     such a node cannot emit certificates. The forger wallet must hold
     at least one key. [pool] (default {!Pool.sequential}) supplies the
-    domains used to fold the epoch's transition proofs when building a
-    certificate; proofs and certificates are bit-identical for every
-    domain count. The node does not own the pool — the caller shuts it
-    down. *)
+    domains used for proving and for folding the epoch's transition
+    proofs; proofs and certificates are bit-identical for every domain
+    count. The node does not own the pool — the caller shuts it down.
+
+    [pipeline] (default [true], ignored with [prove:false]) routes
+    per-step proving through {!Proof_pipeline}: {!forge} applies steps
+    natively and enqueues proving tasks that complete in the background
+    between ticks (call {!pump} to drain), leaving the certify path only
+    the ≤ ⌈log₂ n⌉ carry merges. Certificates, decisions and errors are
+    byte-identical pipeline on or off. [pipeline:false] restores
+    synchronous forge-path proving and the burst fold at certify time.
+
+    [retain_epochs] (default 8, minimum 2) bounds the block-record
+    window: records of epochs more than that many behind the
+    mainchain's last accepted certificate are pruned (certificate
+    rebuilds after shallow reorgs stay inside the margin; withdrawals
+    replay from the kept per-epoch archives). *)
 
 val params : t -> Params.t
 val family : t -> Circuits.family
@@ -124,3 +139,28 @@ val create_withdrawal_request :
 
 val stake_distribution : t -> Leader.distribution
 val leader_for_slot : t -> slot:int -> Hash.t option
+
+(** {2 Proving pipeline} *)
+
+val pump : t -> unit
+(** Drain point between ticks: folds every background proof that has
+    completed into its epoch's incremental merge tree (no-op without a
+    pipeline). With a sequential pool this is where the deferred proofs
+    actually run, spreading the work across ticks instead of bursting at
+    the epoch boundary. The harness calls this once per sidechain per
+    tick, after forging. *)
+
+val pipeline_enabled : t -> bool
+
+val pipeline_depth : t -> int
+(** Proving tasks enqueued but not yet folded (0 without a pipeline). *)
+
+val certificate_stats : t -> Proof_pipeline.certificate_stats list
+(** Per-certificate certify-path accounting, oldest first (empty
+    without a pipeline): how many base transitions each epoch proof
+    covers and how many merges actually ran at certify time. Both
+    fields are deterministic in the seed. *)
+
+val retained_records : t -> int
+(** Block records currently held (after certified-horizon pruning) —
+    observability for the bounded-memory guarantee. *)

@@ -1,0 +1,246 @@
+open Zen_crypto
+open Zen_snark
+
+module Int_map = Map.Make (Int)
+
+let ( let* ) = Result.bind
+
+(* ---- metrics ---- *)
+
+let depth_gauge =
+  Zen_obs.Gauge.make
+    ~help:"Proving tasks enqueued but not yet folded (all epochs)"
+    "latus.pipeline.depth"
+
+let enqueued_c =
+  Zen_obs.Counter.make ~help:"Proving tasks enqueued by the pipeline"
+    "latus.pipeline.enqueued"
+
+let eager_merges_c =
+  Zen_obs.Counter.make
+    ~help:"Recursive merges performed off the certify path (during pumping)"
+    "latus.pipeline.merges.eager"
+
+let carry_merges_c =
+  Zen_obs.Counter.make
+    ~help:"Recursive carry merges performed on the certify path"
+    "latus.pipeline.merges.carry"
+
+let truncations_c =
+  Zen_obs.Counter.make
+    ~help:"Pipeline stream truncations caused by MC reorg rollbacks"
+    "latus.pipeline.truncations"
+
+let queue_wait_s =
+  Zen_obs.Histogram.make
+    ~help:"enqueue-to-execution wait of pipelined proving tasks"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-4 ~factor:4. ~n:10)
+    "latus.pipeline.queue_wait.seconds"
+
+let prove_s =
+  Zen_obs.Histogram.make
+    ~help:"pipelined base-proof latency (prove_step + recursive wrap)"
+    ~bounds:(Zen_obs.Histogram.exponential_bounds ~lo:1e-4 ~factor:4. ~n:8)
+    "latus.pipeline.prove.seconds"
+
+(* ---- streams ---- *)
+
+type leaf = {
+  fut : (Recursive.transition_proof, string) result Pool.future;
+  mutable cached : (Recursive.transition_proof, string) result option;
+      (* set once at harvest so reorg truncation can replay the kept
+         prefix without re-proving *)
+}
+
+type stream = {
+  mutable leaves : leaf option array; (* growable; slots [0, n) filled *)
+  mutable n : int;
+  mutable harvested : int; (* leaves already folded into [inc] *)
+  mutable inc : Recursive.Incremental.acc;
+  mutable base_error : string option; (* first failing leaf, in order *)
+}
+
+type certificate_stats = {
+  cert_epoch : int;
+  cert_leaves : int;
+  cert_carry_merges : int;
+}
+
+type t = {
+  pool : Pool.t;
+  fam : Circuits.family;
+  rsys : Recursive.system;
+  mutable epochs : stream Int_map.t;
+  mutable outstanding : int; (* enqueued - harvested, across epochs *)
+  mutable certificate_log : certificate_stats list; (* newest first *)
+}
+
+let create ~pool ~family ~rsys =
+  {
+    pool;
+    fam = family;
+    rsys;
+    epochs = Int_map.empty;
+    outstanding = 0;
+    certificate_log = [];
+  }
+
+let fresh_stream sys =
+  {
+    leaves = Array.make 16 None;
+    n = 0;
+    harvested = 0;
+    inc = Recursive.Incremental.create sys;
+    base_error = None;
+  }
+
+let stream_for t ~epoch =
+  match Int_map.find_opt epoch t.epochs with
+  | Some s -> s
+  | None ->
+    let s = fresh_stream t.rsys in
+    t.epochs <- Int_map.add epoch s t.epochs;
+    s
+
+let set_depth t = Zen_obs.Gauge.set_int depth_gauge t.outstanding
+
+let leaves t ~epoch =
+  match Int_map.find_opt epoch t.epochs with None -> 0 | Some s -> s.n
+
+let outstanding t = t.outstanding
+let certificate_log t = t.certificate_log
+
+let enqueue t ~epoch ~state ~step =
+  let s = stream_for t ~epoch in
+  if s.n >= Array.length s.leaves then begin
+    let bigger = Array.make (2 * Array.length s.leaves) None in
+    Array.blit s.leaves 0 bigger 0 s.n;
+    s.leaves <- bigger
+  end;
+  let observing = Zen_obs.Registry.enabled () in
+  let t_submit = if observing then Zen_obs.Clock.now () else 0. in
+  let fam = t.fam and rsys = t.rsys in
+  (* The thunk is pure in the pool's sense: the snapshot state, the step
+     and the keys are all captured here; it may run on any worker domain
+     or inline at harvest. It must never raise — failures travel as
+     [Error] so the worker-side exception accounting stays quiet. *)
+  let fut =
+    Pool.async t.pool (fun () ->
+        if observing then
+          Zen_obs.Histogram.observe queue_wait_s
+            (Zen_obs.Clock.now () -. t_submit);
+        Zen_obs.Histogram.time prove_s @@ fun () ->
+        let* proof, vk, s_from, s_to = Circuits.prove_step fam state step in
+        Recursive.of_base rsys ~vk ~s_from ~s_to ~extra:[||] proof)
+  in
+  s.leaves.(s.n) <- Some { fut; cached = None };
+  s.n <- s.n + 1;
+  t.outstanding <- t.outstanding + 1;
+  Zen_obs.Counter.incr enqueued_c;
+  set_depth t
+
+(* Folds leaf [i]'s result into the stream's incremental accumulator.
+   Eager merges run here — off the certify path unless certify itself
+   is forcing stragglers. *)
+let absorb t s result =
+  (match result with
+  | Ok tp ->
+    let before = Recursive.Incremental.eager_merges s.inc in
+    Recursive.Incremental.push s.inc tp;
+    Zen_obs.Counter.add eager_merges_c
+      (Recursive.Incremental.eager_merges s.inc - before)
+  | Error e -> if s.base_error = None then s.base_error <- Some e);
+  s.harvested <- s.harvested + 1;
+  t.outstanding <- t.outstanding - 1;
+  set_depth t
+
+(* Advances a stream's fold over every leaf whose proof is available.
+   [force] awaits instead of skipping (running the thunk inline when no
+   worker claimed it); harvesting stays in leaf order so the fold — and
+   with it the certificate bytes — never depends on completion order. *)
+let harvest t ?(force = false) s =
+  let continue = ref true in
+  while !continue && s.harvested < s.n do
+    match s.leaves.(s.harvested) with
+    | None -> assert false
+    | Some leaf -> (
+      match leaf.cached with
+      | Some r -> absorb t s r
+      | None ->
+        if force || Pool.poll leaf.fut then begin
+          let r = Pool.await leaf.fut in
+          leaf.cached <- Some r;
+          absorb t s r
+        end
+        else continue := false)
+  done
+
+let pump t =
+  if Pool.domains t.pool = 1 then
+    (* No background workers: the pump point is where deferred proofs
+       actually run, spreading them across ticks instead of bursting at
+       the epoch boundary. *)
+    Int_map.iter (fun _ s -> harvest t ~force:true s) t.epochs
+  else Int_map.iter (fun _ s -> harvest t s) t.epochs
+
+let await_epoch t ~epoch =
+  match Int_map.find_opt epoch t.epochs with
+  | None -> Error "pipeline: no proving stream for epoch"
+  | Some s -> (
+    harvest t ~force:true s;
+    match s.base_error with
+    | Some e -> Error e
+    | None ->
+      let carries = Recursive.Incremental.pending_merges s.inc in
+      Zen_obs.Counter.add carry_merges_c carries;
+      t.certificate_log <-
+        { cert_epoch = epoch; cert_leaves = s.n; cert_carry_merges = carries }
+        :: t.certificate_log;
+      Recursive.Incremental.finish s.inc)
+
+(* Unharvested leaves dropped by a truncation may still be running on a
+   worker; they finish harmlessly and are never read. *)
+let forget_tail t s ~keep =
+  for i = keep to s.n - 1 do
+    match s.leaves.(i) with
+    | Some leaf when leaf.cached = None -> t.outstanding <- t.outstanding - 1
+    | _ -> ()
+  done
+
+let truncate t ~epoch ~keep =
+  match Int_map.find_opt epoch t.epochs with
+  | None -> ()
+  | Some s ->
+    if keep >= s.n then ()
+    else begin
+      Zen_obs.Counter.incr truncations_c;
+      forget_tail t s ~keep;
+      if keep = 0 then t.epochs <- Int_map.remove epoch t.epochs
+      else begin
+        (* Rebuild the fold over the kept prefix. Kept leaves that were
+           already harvested replay from [cached] (no re-prove; the
+           merges re-run — a reorg is rare and shallow, so this is still
+           far below a full certify-time fold); unharvested kept leaves
+           keep their futures. *)
+        s.n <- keep;
+        s.harvested <- 0;
+        s.base_error <- None;
+        s.inc <- Recursive.Incremental.create t.rsys;
+        (* Replayed leaves were already counted out of [outstanding] at
+           first harvest; count them back in before re-harvesting. *)
+        for i = 0 to keep - 1 do
+          match s.leaves.(i) with
+          | Some leaf when leaf.cached <> None ->
+            t.outstanding <- t.outstanding + 1
+          | _ -> ()
+        done;
+        harvest t s
+      end;
+      set_depth t
+    end
+
+let drop_below t ~epoch =
+  let dropped, kept = Int_map.partition (fun e _ -> e < epoch) t.epochs in
+  Int_map.iter (fun _ s -> forget_tail t s ~keep:0) dropped;
+  t.epochs <- kept;
+  set_depth t

@@ -1,0 +1,94 @@
+(** Pipelined epoch proving: overlap base-proof generation and merging
+    with block production.
+
+    The paper's §5.4.1 provers (and the Latus incentive-scheme paper,
+    arXiv:2103.13754) generate base proofs and merge proofs
+    {e continuously across the epoch}, not in a burst at the boundary.
+    This module is the node-side realization: {!Node.forge} applies
+    steps natively, snapshots the pre-step state, and {!enqueue}s one
+    proving task per step as a {!Pool.future}; the tasks complete on the
+    shared Domain pool in the background while the node forges the next
+    block. As sibling proofs land, {!pump} folds them through
+    {!Recursive.Incremental} — the online [fold_balanced] — so by
+    certify time the epoch's merge tree is already built except for the
+    ≤ ⌈log₂ n⌉ binary-counter carry merges, which {!await_epoch} runs
+    together with any straggler base proofs.
+
+    {2 Determinism}
+
+    Scheduling moves, bytes don't. Leaves are harvested strictly in
+    application order regardless of completion order, the incremental
+    fold reproduces [fold_balanced]'s exact tree, and a task's thunk is
+    pure — so certificates (and on failure, the reported error) are
+    byte-identical to the synchronous path for every domain count,
+    pipeline on or off. With a sequential pool nothing runs in the
+    background; {!pump} and {!await_epoch} are simply where the deferred
+    work executes, which spreads it across ticks instead of bursting.
+
+    {2 Observability}
+
+    [latus.pipeline.depth] (gauge: tasks in flight),
+    [latus.pipeline.queue_wait.seconds] / [.prove.seconds] (histograms),
+    and [latus.pipeline.enqueued] / [.merges.eager] / [.merges.carry] /
+    [.truncations] (counters). The certify-path shrink shows up as the
+    [latus.fold] span collapsing in [Zen_obs.Report]. *)
+
+open Zen_snark
+
+type t
+
+type certificate_stats = {
+  cert_epoch : int;
+  cert_leaves : int;  (** base transitions folded into the epoch proof *)
+  cert_carry_merges : int;
+      (** merges that actually ran on the certify path —
+          ≤ ⌈log₂ [cert_leaves]⌉, vs. [cert_leaves] − 1 for the
+          unpipelined burst fold *)
+}
+
+val create : pool:Zen_crypto.Pool.t -> family:Circuits.family -> rsys:Recursive.system -> t
+(** The pipeline borrows [pool] (it does not own or shut it down) and
+    proves under [family]'s circuits, wrapping into [rsys]. *)
+
+val enqueue : t -> epoch:int -> state:Sc_state.t -> step:Sc_tx.step -> unit
+(** Submits the proof of [step] applied at [state] for background
+    execution, appended to [epoch]'s stream in application order. Call
+    only with snapshots of steps that are definitely part of a forged
+    block, in block order. *)
+
+val pump : t -> unit
+(** Non-blocking drain point, called between ticks: folds every already
+    completed proof into its epoch's incremental merge tree. On a
+    sequential pool this is where deferred proofs run (inline, all of
+    them) — the drain point that keeps single-domain runs byte-identical
+    while still moving work off the certify burst. *)
+
+val await_epoch : t -> epoch:int -> (Recursive.transition_proof, string) result
+(** Completes [epoch]'s fold: awaits straggler base proofs (running
+    unclaimed ones inline), then performs the remaining carry merges.
+    Errors are deterministic and identical to the synchronous
+    prove-then-[fold_balanced] path: the first failing base proof in
+    application order, else the first failing merge in [fold_balanced]'s
+    (level, pair) order. Appends to {!certificate_log}. *)
+
+val leaves : t -> epoch:int -> int
+(** Tasks enqueued for [epoch] so far (0 for an unknown epoch). *)
+
+val outstanding : t -> int
+(** Tasks enqueued but not yet folded, across all epochs — the value of
+    the [latus.pipeline.depth] gauge. *)
+
+val truncate : t -> epoch:int -> keep:int -> unit
+(** MC-reorg rollback: keep only the first [keep] leaves of [epoch]'s
+    stream and rebuild its fold from the already-proven kept prefix (no
+    base proof is re-run; only merges replay). Dropped in-flight tasks
+    finish harmlessly and are never read. *)
+
+val drop_below : t -> epoch:int -> unit
+(** Forgets every stream strictly below [epoch] — called when the node
+    prunes records below the mainchain's certified horizon. *)
+
+val certificate_log : t -> certificate_stats list
+(** One entry per {!await_epoch} call, newest first — the per-epoch
+    certify-path accounting surfaced in the CLI report
+    ([pipeline.certs]) and asserted by CI's pipeline-smoke job. *)

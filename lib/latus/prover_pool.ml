@@ -66,6 +66,95 @@ let snapshots initial steps =
     steps
   |> Result.map (fun (_, out) -> List.rev out)
 
+(* Shared body of one §5.4.1 proving task: honour the seeded dispatch
+   (re-dispatching away from crashed workers via the task's derived
+   rng), prove, spot-verify, account. Identical whether it runs inside
+   a chunked parallel map ([prove_epoch]) or as a future
+   ([prove_and_merge]) — which is what keeps the two paths
+   byte-identical. *)
+let run_task ~family ~fault_of ~crashed ~survivors ~attempt_budget ~rng
+    ~assignment ~snaps index =
+  let state, step = snaps.(index) in
+  let task_rng = Rng.derive rng index in
+  let rec attempt k w =
+    if crashed w then begin
+      Zen_obs.Counter.incr reassignments;
+      Zen_obs.Trace.instant ~cat:"fault"
+        ~args:
+          [
+            ("step", string_of_int index);
+            ("worker", string_of_int w);
+            ("attempt", string_of_int k);
+          ]
+        "latus.prover.crash";
+      if k >= attempt_budget then
+        Error
+          (Printf.sprintf "prover pool: task %d exceeded its attempt budget (%d)"
+             index attempt_budget)
+      else attempt (k + 1) survivors.(Rng.int task_rng (Array.length survivors))
+    end
+    else begin
+      let t = now () in
+      Zen_obs.Trace.with_span ~cat:"latus"
+        ~args:
+          [
+            ("step", string_of_int index);
+            ("worker", string_of_int w);
+            ("attempt", string_of_int k);
+          ]
+        "latus.prove_step"
+      @@ fun () ->
+      match Circuits.prove_step family state step with
+      | Error e -> Error e
+      | Ok (proof, vk, s_from, s_to) ->
+        let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
+        if not (Backend.verify vk ~public proof) then
+          Error "prover pool: worker submitted an invalid proof"
+        else
+          let seconds = now () -. t in
+          let seconds =
+            match fault_of w with
+            | Some (Slow f) when f > 1 -> seconds *. float_of_int f
+            | _ -> seconds
+          in
+          Zen_obs.Histogram.observe prove_step_s seconds;
+          Ok { index; worker = w; attempts = k; proof; vk; s_from; s_to; seconds }
+    end
+  in
+  attempt 1 assignment.(index)
+
+let stats_of ~workers ~domains ~wall proofs =
+  let rewards = Array.make workers 0 in
+  let busy = Array.make workers 0.0 in
+  let worker_retries = Array.make workers 0 in
+  let retries, total_work =
+    List.fold_left
+      (fun (retries, acc) tp ->
+        rewards.(tp.worker) <- rewards.(tp.worker) + 1;
+        busy.(tp.worker) <- busy.(tp.worker) +. tp.seconds;
+        worker_retries.(tp.worker) <- worker_retries.(tp.worker) + tp.attempts - 1;
+        (retries + tp.attempts - 1, acc +. tp.seconds))
+      (0, 0.0) proofs
+  in
+  {
+    tasks = List.length proofs;
+    workers;
+    domains;
+    total_work;
+    wall;
+    concurrency = (if wall > 0.0 then total_work /. wall else 1.0);
+    retries;
+    rewards = Array.to_list rewards |> List.mapi (fun i r -> (i, r));
+    worker_costs =
+      List.init workers (fun w ->
+          {
+            wc_worker = w;
+            busy_s = busy.(w);
+            wc_proofs = rewards.(w);
+            wc_retries = worker_retries.(w);
+          });
+  }
+
 let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
     family ~initial ~steps ~workers ~seed =
   Zen_obs.Trace.with_span ~cat:"latus"
@@ -98,78 +187,17 @@ let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
   (* The parallel section: one heavyweight proving task per step, all
      inputs captured above, nothing shared but immutable keys.
      Randomness for re-dispatch after a crash comes from [Rng.derive]
-     per task index, so retries are reproducible and domain-safe. *)
+     per task index, so retries are reproducible and domain-safe
+     (§5.4.1's "the task would be re-dispatched" made concrete; a
+     dishonest worker's submission fails spot-verification and earns
+     nothing). *)
   let results =
     (* A template-cached base prove is ~2.5 ms: the cost hint keeps a
        few chunks per domain for crash-retry skew while batching the
        epoch enough that chunk sync stays amortized. *)
-    Pool.init_array pool ~cost:2.5 (Array.length snaps) (fun index ->
-        let state, step = snaps.(index) in
-        let task_rng = Rng.derive rng index in
-        (* Re-dispatch: a crashed worker never returns its task, so the
-           dispatcher hands it to a surviving party, burning one attempt
-           from the task's budget each time (§5.4.1's "the task would be
-           re-dispatched" made concrete). *)
-        let rec attempt k w =
-          if crashed w then begin
-            Zen_obs.Counter.incr reassignments;
-            Zen_obs.Trace.instant ~cat:"fault"
-              ~args:
-                [
-                  ("step", string_of_int index);
-                  ("worker", string_of_int w);
-                  ("attempt", string_of_int k);
-                ]
-              "latus.prover.crash";
-            if k >= attempt_budget then
-              Error
-                (Printf.sprintf
-                   "prover pool: task %d exceeded its attempt budget (%d)"
-                   index attempt_budget)
-            else attempt (k + 1) survivors.(Rng.int task_rng (Array.length survivors))
-          end
-          else begin
-            let t = now () in
-            Zen_obs.Trace.with_span ~cat:"latus"
-              ~args:
-                [
-                  ("step", string_of_int index);
-                  ("worker", string_of_int w);
-                  ("attempt", string_of_int k);
-                ]
-              "latus.prove_step"
-            @@ fun () ->
-            match Circuits.prove_step family state step with
-            | Error e -> Error e
-            | Ok (proof, vk, s_from, s_to) ->
-              (* A dishonest worker's submission would fail here and
-                 earn nothing; only the worker whose proof verified is
-                 credited in [rewards]. *)
-              let public = Recursive.base_public ~s_from ~s_to ~extra:[||] in
-              if not (Backend.verify vk ~public proof) then
-                Error "prover pool: worker submitted an invalid proof"
-              else
-                let seconds = now () -. t in
-                let seconds =
-                  match fault_of w with
-                  | Some (Slow f) when f > 1 -> seconds *. float_of_int f
-                  | _ -> seconds
-                in
-                Zen_obs.Histogram.observe prove_step_s seconds;
-                Ok
-                  {
-                    index;
-                    worker = w;
-                    attempts = k;
-                    proof;
-                    vk;
-                    s_from;
-                    s_to;
-                    seconds;
-                  }
-          end
-        in
-        attempt 1 assignment.(index))
+    Pool.init_array pool ~cost:2.5 (Array.length snaps)
+      (run_task ~family ~fault_of ~crashed ~survivors ~attempt_budget ~rng
+         ~assignment ~snaps)
   in
   let wall = now () -. t0 in
   (* Deterministic error selection: first failing step in epoch order. *)
@@ -181,39 +209,7 @@ let prove_epoch ?(pool = Pool.sequential) ?(faults = []) ?(attempt_budget = 3)
         Ok (tp :: out))
       results (Ok [])
   in
-  let rewards = Array.make workers 0 in
-  let busy = Array.make workers 0.0 in
-  let worker_retries = Array.make workers 0 in
-  let retries, total_work =
-    List.fold_left
-      (fun (retries, acc) tp ->
-        rewards.(tp.worker) <- rewards.(tp.worker) + 1;
-        busy.(tp.worker) <- busy.(tp.worker) +. tp.seconds;
-        worker_retries.(tp.worker) <-
-          worker_retries.(tp.worker) + tp.attempts - 1;
-        (retries + tp.attempts - 1, acc +. tp.seconds))
-      (0, 0.0) proofs
-  in
-  Ok
-    ( proofs,
-      {
-        tasks = List.length proofs;
-        workers;
-        domains = Pool.domains pool;
-        total_work;
-        wall;
-        concurrency = (if wall > 0.0 then total_work /. wall else 1.0);
-        retries;
-        rewards = Array.to_list rewards |> List.mapi (fun i r -> (i, r));
-        worker_costs =
-          List.init workers (fun w ->
-              {
-                wc_worker = w;
-                busy_s = busy.(w);
-                wc_proofs = rewards.(w);
-                wc_retries = worker_retries.(w);
-              });
-      } )
+  Ok (proofs, stats_of ~workers ~domains:(Pool.domains pool) ~wall proofs)
 
 let worker_costs_json stats =
   Zen_obs.Json.Arr
@@ -227,6 +223,70 @@ let worker_costs_json stats =
              ("retries", Zen_obs.Json.Int wc.wc_retries);
            ])
        stats.worker_costs)
+
+let prove_and_merge ?(pool = Pool.sequential) ?(faults = [])
+    ?(attempt_budget = 3) family rsys ~initial ~steps ~workers ~seed =
+  Zen_obs.Trace.with_span ~cat:"latus"
+    ~args:
+      [
+        ("steps", string_of_int (List.length steps));
+        ("domains", string_of_int (Pool.domains pool));
+        ("faults", string_of_int (List.length faults));
+      ]
+    "latus.prove_and_merge"
+  @@ fun () ->
+  if attempt_budget < 1 then
+    invalid_arg "Prover_pool.prove_and_merge: attempt_budget";
+  let fault_of w = List.assoc_opt w faults in
+  let crashed w = fault_of w = Some Crash in
+  let survivors =
+    Array.init workers Fun.id |> Array.to_list
+    |> List.filter (fun w -> not (crashed w))
+    |> Array.of_list
+  in
+  let* () =
+    if workers > 0 && Array.length survivors = 0 then
+      Error "prover pool: no surviving workers (all crashed)"
+    else Ok ()
+  in
+  (* The incentive layer is untouched: the dispatch is drawn from the
+     seeded rng before anything executes, exactly as in [prove_epoch],
+     so worker assignment, rewards and retries are byte-identical. *)
+  let rng = Rng.create seed in
+  let assignment = dispatch ~rng ~workers ~tasks:(List.length steps) in
+  let* snaps = snapshots initial steps in
+  let snaps = Array.of_list snaps in
+  let t0 = now () in
+  (* Pipelined execution: every task is a future, so base proofs run
+     concurrently while this domain folds finished ones — in index
+     order — through the incremental merge tree. The tree shape (hence
+     the proof bytes) and the error selection (first failing index)
+     match [prove_epoch] + [merge_all] exactly; only scheduling and the
+     timing fields differ. *)
+  let futures =
+    Array.init (Array.length snaps) (fun index ->
+        Pool.async pool (fun () ->
+            run_task ~family ~fault_of ~crashed ~survivors ~attempt_budget ~rng
+              ~assignment ~snaps index))
+  in
+  let inc = Recursive.Incremental.create rsys in
+  let* proofs_rev =
+    Array.fold_left
+      (fun acc fut ->
+        let* out = acc in
+        let* tp = Pool.await fut in
+        let* transition =
+          Recursive.of_base rsys ~vk:tp.vk ~s_from:tp.s_from ~s_to:tp.s_to
+            ~extra:[||] tp.proof
+        in
+        Recursive.Incremental.push inc transition;
+        Ok (tp :: out))
+      (Ok []) futures
+  in
+  let proofs = List.rev proofs_rev in
+  let* top = Recursive.Incremental.finish inc in
+  let wall = now () -. t0 in
+  Ok (proofs, stats_of ~workers ~domains:(Pool.domains pool) ~wall proofs, top)
 
 let merge_all ?(pool = Pool.sequential) _family rsys proofs =
   Zen_obs.Trace.with_span ~cat:"latus"

@@ -124,3 +124,25 @@ val merge_all :
 (** Folds the dispatched proofs into the single epoch proof (Fig. 11):
     base-proof wrapping is a parallel map, and each level of the merge
     tree parallelizes via {!Recursive.fold_balanced}. *)
+
+val prove_and_merge :
+  ?pool:Pool.t ->
+  ?faults:(int * worker_fault) list ->
+  ?attempt_budget:int ->
+  Circuits.family ->
+  Recursive.system ->
+  initial:Sc_state.t ->
+  steps:Sc_tx.step list ->
+  workers:int ->
+  seed:int ->
+  (task_proof list * stats * Recursive.transition_proof, string) result
+(** Pipelined {!prove_epoch} + {!merge_all}: every proving task becomes
+    a {!Pool.future}, and completed base proofs are folded — in step
+    order — through {!Recursive.Incremental} while later tasks are
+    still proving, so merging overlaps proving instead of waiting for
+    the last base proof. The incentive layer is untouched (the §5.4.1
+    dispatch is drawn from the seeded rng before execution): proofs,
+    rewards, retries, the final epoch proof's bytes and the error
+    selection are all byte-identical to the two-phase path for every
+    domain count; only [stats.wall] (which now covers the overlapped
+    prove+merge) and per-task timings differ. *)

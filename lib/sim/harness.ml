@@ -43,6 +43,7 @@ type t = {
   miner_addr : Hash.t;
   pool : Pool.t;
   aggregate : bool;
+  pipeline : bool;
   mutable time : int;
   mutable sidechains_rev : sidechain list;
   mutable next_sc_nonce : int;
@@ -60,7 +61,7 @@ let logf t fmt = Printf.ksprintf (Zen_obs.Events.add t.log) fmt
 let dump_log t = Zen_obs.Events.items t.log
 
 let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?(aggregate = false)
-    ?faults ~seed () =
+    ?(pipeline = true) ?faults ~seed () =
   let params = { Chain_state.default_params with pow } in
   let mc_wallet = Wallet.create ~seed in
   let miner_addr = Wallet.fresh_address mc_wallet in
@@ -71,6 +72,7 @@ let create ?(pow = Pow.trivial) ?(pool = Pool.sequential) ?(aggregate = false)
     miner_addr;
     pool;
     aggregate;
+    pipeline;
     time = 0;
     sidechains_rev = [];
     next_sc_nonce = 1;
@@ -214,7 +216,10 @@ let add_latus t ~name ?(params = Params.default) ?family ?pool ~epoch_len
     let forger = Sc_wallet.create ~seed:("forger." ^ name) in
     let (_ : Hash.t) = Sc_wallet.fresh_address forger in
     let node_pool = match pool with Some p -> p | None -> t.pool in
-    match Node.create ~config ~params ~family ~forger ~pool:node_pool () with
+    match
+      Node.create ~config ~params ~family ~forger ~pool:node_pool
+        ~pipeline:t.pipeline ()
+    with
     | Error e -> Error e
     | Ok node ->
       submit t (Tx.Sc_create config);
@@ -521,6 +526,13 @@ let tick t =
       | Ok (Some b) ->
         logf t "%s forged block %d (%d refs, %d txs)" sc.name b.height
           (List.length b.mc_refs) (List.length b.txs));
+      (* Drain point of the proving pipeline: fold whatever the workers
+         finished since the last tick (with a sequential pool, run the
+         deferred proofs here) so certify time only sees carry merges
+         and genuine stragglers. Scheduling only — the log never
+         records pipeline progress, keeping runs byte-identical
+         pipeline on or off. *)
+      Node.pump sc.node;
       if not sc.withhold_certs then submit_certificate t sc)
     (sidechains t);
   Zen_obs.Gauge.set_int mempool_depth (List.length (Mempool.txs t.mempool))
@@ -601,6 +613,31 @@ let scoreboard_json t =
               Float
                 (if lookups = 0 then 0.
                  else float_of_int cache.hits /. float_of_int lookups) );
+          ] );
+      ( "pipeline",
+        (* Certify-path accounting per certificate: [leaves] base
+           transitions folded, of which only [carry_merges] merges ran
+           at certify time (the rest were eager, between ticks). Both
+           are deterministic in the seed — CI asserts
+           carry_merges ≤ ⌈log₂ leaves⌉ + 1. *)
+        Obj
+          [
+            ("enabled", Bool t.pipeline);
+            ( "certs",
+              Arr
+                (List.concat_map
+                   (fun sc ->
+                     List.map
+                       (fun (cs : Proof_pipeline.certificate_stats) ->
+                         Obj
+                           [
+                             ("sidechain", Str sc.name);
+                             ("epoch", Int cs.cert_epoch);
+                             ("leaves", Int cs.cert_leaves);
+                             ("carry_merges", Int cs.cert_carry_merges);
+                           ])
+                       (Node.certificate_stats sc.node))
+                   (sidechains t)) );
           ] );
       ("certificates", Arr rows);
     ]

@@ -48,6 +48,12 @@ type t = {
           into one {!Zen_snark.Aggregate} (validation verifies one
           proof per block); decisions and logs are byte-identical
           either way *)
+  pipeline : bool;
+      (** when true (the default), sidechain nodes prove through
+          {!Zen_latus.Proof_pipeline} — base proofs run between ticks
+          and merge incrementally, leaving certify time only the carry
+          merges; certificates, decisions and logs are byte-identical
+          either way *)
   mutable time : int;
   mutable sidechains_rev : sidechain list;
       (** newest first (constant-time registration); read registration
@@ -82,6 +88,7 @@ val create :
   ?pow:Pow.params ->
   ?pool:Pool.t ->
   ?aggregate:bool ->
+  ?pipeline:bool ->
   ?faults:Faults.t ->
   seed:string ->
   unit ->
@@ -156,13 +163,14 @@ val forward_transfer :
 (** Builds, submits and mines an FT from the harness wallet. *)
 
 val tick : t -> unit
-(** Mine one MC block, forge each sidechain once (slot = time), and
-    submit any certificate that is ready (unless withheld). With a
-    fault plan installed, the tick first injects whatever the plan
-    pins to this round — clock skew, adversarial reorg, postponed
-    certificate deliveries — and certificate submission honours any
-    Drop/Delay/Duplicate/Withhold fault for the epoch being
-    certified. *)
+(** Mine one MC block, forge each sidechain once (slot = time), pump
+    each node's proving pipeline (folding background proofs completed
+    since the last tick), and submit any certificate that is ready
+    (unless withheld). With a fault plan installed, the tick first
+    injects whatever the plan pins to this round — clock skew,
+    adversarial reorg, postponed certificate deliveries — and
+    certificate submission honours any Drop/Delay/Duplicate/Withhold
+    fault for the epoch being certified. *)
 
 val tick_n : t -> int -> unit
 (** [tick] [n] times. *)
@@ -182,10 +190,13 @@ val scoreboard_json : t -> Zen_obs.Json.t
 (** The flight recorder as JSON — per-(sidechain, epoch) certificate
     outcomes (submitted/dropped/delayed/duplicated/withheld/errors),
     every reorg with its depth, prover retry count, the MC
-    verification-cache hit rate and the certificate-aggregation
-    counters ({!Zen_mainchain.Chain_state.Aggregate_stats}). The shape the CLI embeds under
-    ["scoreboard"] in a ["zen-report/1"] document. Rows are sorted by
-    (sidechain, epoch), so the output is deterministic. *)
+    verification-cache hit rate, the certificate-aggregation
+    counters ({!Zen_mainchain.Chain_state.Aggregate_stats}) and the
+    proving pipeline's per-certificate certify-path accounting
+    ([pipeline.certs]: leaves folded and carry merges run at certify
+    time — both deterministic in the seed). The shape the CLI embeds
+    under ["scoreboard"] in a ["zen-report/1"] document. Rows are
+    sorted by (sidechain, epoch), so the output is deterministic. *)
 
 val logf : t -> ('a, unit, string, unit) format4 -> 'a
 (** printf into the world's event log. *)

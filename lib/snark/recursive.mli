@@ -68,6 +68,48 @@ val fold_sequential :
   system -> transition_proof list -> (transition_proof, string) result
 (** Left fold (degenerate tree) — the ablation comparison shape. *)
 
+(** Online {!fold_balanced}: feed transitions one at a time, in
+    adjacency order, as their base proofs complete; most merges happen
+    {e during} feeding ({!Incremental.push} merges equal-sized aligned
+    subtrees eagerly, a binary-counter carry structure), leaving
+    {!Incremental.finish} at most ⌈log₂ n⌉ carry merges. The finished
+    proof — and, on failure, the reported error — is {b byte-identical}
+    to [fold_balanced] over the same list: the counter builds exactly
+    the aligned subtrees of the Fig. 10 tree, in a different order.
+    This is what keeps the certify path of a pipelined node logarithmic
+    ([Zen_latus.Proof_pipeline]). *)
+module Incremental : sig
+  type acc
+  (** Mutable fold state. Not thread-safe: push from one domain. *)
+
+  val create : system -> acc
+
+  val push : acc -> transition_proof -> unit
+  (** Appends the next transition, running any eager merges it enables
+      (amortized O(1) merges per push, worst case one carry chain). A
+      failed merge is recorded and poisons the affected subtree;
+      {!finish} reports the same error [fold_balanced] would. *)
+
+  val count : acc -> int
+  (** Transitions pushed so far. *)
+
+  val eager_merges : acc -> int
+  (** Merges already performed by {!push} — off the certify path. *)
+
+  val pending_merges : acc -> int
+  (** Carry merges {!finish} would run now: the stack height minus one,
+      ≤ ⌈log₂ {!count}⌉. *)
+
+  val finish : acc -> (transition_proof, string) result
+  (** Folds the outstanding subtrees into the final proof (the carried
+      trailing-element chain of [fold_balanced]). Non-destructive: the
+      acc may be extended with further {!push}es and finished again —
+      how a lost certificate is rebuilt without re-proving. Errors:
+      ["fold_balanced: empty transition list"] when nothing was pushed,
+      otherwise the first failing merge in [fold_balanced]'s
+      (level, pair) execution order. *)
+end
+
 val s_from : transition_proof -> Fp.t
 (** The state the covered transition chain starts from. *)
 

@@ -1,0 +1,328 @@
+(* Pipelined epoch proving: the Recursive.Incremental online fold must
+   be byte-identical to fold_balanced for every prefix length and every
+   domain count (including error selection), Prover_pool.prove_and_merge
+   must reproduce prove_epoch + merge_all exactly, and a harness run is
+   a pure function of its seed whether the pipeline is on or off. *)
+
+open Zen_crypto
+open Zen_snark
+open Zen_latus
+open Zendoo
+open Zen_sim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let amount n = Amount.of_int_exn n
+
+let params = Params.default
+let family = Circuits.make params
+
+let ceil_log2 n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+(* ---- Incremental = fold_balanced, on a cheap synthetic chain ---- *)
+
+(* The t_snark step circuit: s_to = Poseidon(s_from, x). Cheap enough
+   to build a 17-link chain once and reuse across all the prefix
+   tests. *)
+let synth_step s x =
+  let ctx = Gadget.create () in
+  let w_from = Gadget.input ctx s in
+  let s_to = Poseidon.hash2 s x in
+  let w_to = Gadget.input ctx s_to in
+  let wx = Gadget.witness ctx x in
+  Gadget.assert_eq ~label:"step" ctx (Gadget.poseidon2 ctx w_from wx) w_to;
+  (Gadget.finalize ~name:"pipe.step" ctx, s_to)
+
+let make_chain sys pk vk s0 n =
+  let rec go s i acc =
+    if i = n then List.rev acc
+    else begin
+      let (_, public, witness), s_to = synth_step s (Fp.of_int (2000 + i)) in
+      let proof = ok (Backend.prove pk ~public ~witness) in
+      let tp =
+        ok (Recursive.of_base sys ~vk ~s_from:s ~s_to ~extra:[||] proof)
+      in
+      go s_to (i + 1) (tp :: acc)
+    end
+  in
+  go s0 0 []
+
+let chain17 =
+  lazy
+    (let (c, _, _), _ = synth_step Fp.zero Fp.zero in
+     let pk, vk = Backend.setup c in
+     let sys = Recursive.create ~name:"t-pipe" ~base_vks:[ vk ] in
+     (sys, make_chain sys pk vk (Fp.of_int 1) 17))
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let bytes_of tp = Backend.proof_encode (Recursive.final_proof tp)
+
+let incremental_of sys ts =
+  let acc = Recursive.Incremental.create sys in
+  List.iter (Recursive.Incremental.push acc) ts;
+  (acc, Recursive.Incremental.finish acc)
+
+(* Every prefix length 1..17 (all binary-counter shapes), every pool
+   arity, one growing accumulator: each [finish] must match the batch
+   fold of the same prefix, proving [finish] is non-destructive — the
+   lost-certificate rebuild path. *)
+let test_incremental_all_prefixes () =
+  let sys, chain = Lazy.force chain17 in
+  let acc = Recursive.Incremental.create sys in
+  checkb "empty finish is the fold_balanced error" true
+    (Recursive.Incremental.finish acc
+    = Error "fold_balanced: empty transition list");
+  List.iteri
+    (fun i tp ->
+      let len = i + 1 in
+      Recursive.Incremental.push acc tp;
+      checki (Printf.sprintf "len %d count" len) len
+        (Recursive.Incremental.count acc);
+      checkb
+        (Printf.sprintf "len %d pending <= ceil(log2 %d)" len len)
+        true
+        (Recursive.Incremental.pending_merges acc <= ceil_log2 len);
+      checki
+        (Printf.sprintf "len %d pending = popcount - 1" len)
+        (popcount len - 1)
+        (Recursive.Incremental.pending_merges acc);
+      let inc = ok (Recursive.Incremental.finish acc) in
+      List.iter
+        (fun domains ->
+          let pool = Pool.get ~domains in
+          let bal = ok (Recursive.fold_balanced ~pool sys (take len chain)) in
+          checks
+            (Printf.sprintf "len %d domains %d bytes" len domains)
+            (bytes_of bal) (bytes_of inc))
+        [ 1; 2; 4 ];
+      checkb
+        (Printf.sprintf "len %d endpoints" len)
+        true
+        (Fp.equal (Recursive.s_from inc) (Fp.of_int 1)
+        && Fp.equal (Recursive.s_to inc)
+             (Recursive.s_to (List.nth chain (len - 1)))))
+    chain
+
+(* qcheck: random prefix x pool arity x optional adjacency break. On
+   success the bytes must match; on failure the error strings must —
+   the incremental fold reports the same (level, pair)-first failure
+   fold_balanced does, even with several broken pairs. *)
+let equivalence_prop (len, domains, gap) =
+  let sys, chain = Lazy.force chain17 in
+  let ts = take len chain in
+  let ts, broken =
+    match gap with
+    | Some k when len >= 3 -> (drop_nth (1 + (k mod (len - 2))) ts, true)
+    | _ -> (ts, false)
+  in
+  let pool = Pool.get ~domains in
+  let bal = Recursive.fold_balanced ~pool sys ts in
+  let _, inc = incremental_of sys ts in
+  match (bal, inc) with
+  | Ok b, Ok i -> (not broken) && String.equal (bytes_of b) (bytes_of i)
+  | Error eb, Error ei -> broken && String.equal eb ei
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let test_incremental_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Incremental = fold_balanced" ~count:60
+       ~print:(fun (len, domains, gap) ->
+         Printf.sprintf "len=%d domains=%d gap=%s" len domains
+           (match gap with None -> "-" | Some k -> string_of_int k))
+       QCheck2.Gen.(
+         triple (int_range 1 17) (oneofl [ 1; 2; 4 ])
+           (option (int_range 0 14)))
+       equivalence_prop)
+
+let test_incremental_double_break () =
+  (* Two broken pairs: the reported failure must still be the first in
+     fold_balanced's (level, pair) execution order. *)
+  let sys, chain = Lazy.force chain17 in
+  let ts = take 11 chain |> drop_nth 8 |> drop_nth 3 in
+  let bal = Recursive.fold_balanced sys ts in
+  let _, inc = incremental_of sys ts in
+  match (bal, inc) with
+  | Error eb, Error ei -> checks "same first error" eb ei
+  | _ -> Alcotest.fail "both folds should fail on a doubly-broken chain"
+
+(* ---- prove_and_merge = prove_epoch + merge_all ---- *)
+
+let pipe_steps n tag =
+  List.init n (fun i ->
+      Sc_tx.Insert
+        (Utxo.make
+           ~addr:(Hash.of_string ("t-pipe." ^ tag))
+           ~amount:(amount (i + 1))
+           ~nonce:(Hash.of_string (Printf.sprintf "tp-%s-%d" tag i))))
+
+let test_prove_and_merge_identical () =
+  let rsys =
+    Recursive.create ~name:"t-pipe-pp" ~base_vks:(Circuits.base_vks family)
+  in
+  let st = Sc_state.create params in
+  let steps = pipe_steps 11 "pp" in
+  let faults = [ (2, Prover_pool.Crash); (0, Prover_pool.Slow 5) ] in
+  List.iter
+    (fun domains ->
+      let pool = Pool.get ~domains in
+      let proofs, stats =
+        ok
+          (Prover_pool.prove_epoch ~pool ~faults family ~initial:st ~steps
+             ~workers:4 ~seed:9)
+      in
+      let top = ok (Prover_pool.merge_all ~pool family rsys proofs) in
+      let proofs', stats', top' =
+        ok
+          (Prover_pool.prove_and_merge ~pool ~faults family rsys ~initial:st
+             ~steps ~workers:4 ~seed:9)
+      in
+      let label s = Printf.sprintf "domains %d: %s" domains s in
+      checks (label "epoch proof bytes") (bytes_of top) (bytes_of top');
+      checki (label "retries") stats.Prover_pool.retries
+        stats'.Prover_pool.retries;
+      checkb (label "rewards") true
+        (stats.Prover_pool.rewards = stats'.Prover_pool.rewards);
+      checkb (label "task proofs") true
+        (List.for_all2
+           (fun a b ->
+             a.Prover_pool.worker = b.Prover_pool.worker
+             && a.Prover_pool.attempts = b.Prover_pool.attempts
+             && String.equal
+                  (Backend.proof_encode a.Prover_pool.proof)
+                  (Backend.proof_encode b.Prover_pool.proof))
+           proofs proofs'))
+    [ 1; 2 ];
+  (* error selection: all workers crashed fails identically *)
+  let all_crashed = [ (0, Prover_pool.Crash); (1, Prover_pool.Crash) ] in
+  checkb "error paths agree" true
+    (Prover_pool.prove_and_merge ~faults:all_crashed family rsys ~initial:st
+       ~steps ~workers:2 ~seed:9
+     |> Result.is_error)
+
+(* ---- harness determinism: pipeline on/off, fault storm ---- *)
+
+let storm_run ~pipeline ~domains =
+  let plan =
+    Faults.storm ~seed:11 ~first_tick:8 ~ticks:12 ~epochs:4 ~workers:4
+      ~intensity:40 ()
+  in
+  let faults = Faults.create ~seed:11 plan in
+  let pool = Pool.get ~domains in
+  let h = Harness.create ~pool ~pipeline ~faults ~seed:"pipe.storm" () in
+  Harness.fund h ~blocks:5;
+  let sc =
+    ok
+      (Harness.add_latus h ~name:"sc" ~family ~epoch_len:2 ~submit_len:5
+         ~activation_delay:1 ())
+  in
+  (* real traffic, so epoch proofs have leaves to pipeline *)
+  let receiver = Hash.of_string "pipe-user" in
+  for i = 1 to 4 do
+    ok
+      (Harness.forward_transfer h sc ~receiver ~payback:receiver
+         ~amount:(amount (100 * i)));
+    Harness.tick_n h 3
+  done;
+  let certified =
+    match
+      Zen_mainchain.Sc_ledger.find
+        (Zen_mainchain.Chain.tip_state h.chain).scs sc.ledger_id
+    with
+    | None -> 0
+    | Some s -> List.length s.certs
+  in
+  Zen_obs.Clock.reset ();
+  ( Harness.dump_log h,
+    certified,
+    Zen_mainchain.Chain.height h.chain,
+    Node.certificate_stats sc.node )
+
+let test_storm_pipeline_invariant () =
+  let log_on, cert_on, height_on, stats_on = storm_run ~pipeline:true ~domains:1 in
+  let log_off, cert_off, height_off, stats_off =
+    storm_run ~pipeline:false ~domains:1
+  in
+  let log_on2, cert_on2, height_on2, _ = storm_run ~pipeline:true ~domains:2 in
+  checkb "liveness under faults" true (cert_on > 0);
+  checki "same certified (on/off)" cert_on cert_off;
+  checki "same height (on/off)" height_on height_off;
+  checki "same log length (on/off)" (List.length log_on) (List.length log_off);
+  List.iter2 (fun a b -> checks "log line (on/off)" a b) log_on log_off;
+  checki "same certified (1/2 domains)" cert_on cert_on2;
+  checki "same height (1/2 domains)" height_on height_on2;
+  List.iter2 (fun a b -> checks "log line (1/2 domains)" a b) log_on log_on2;
+  (* the unpipelined node keeps no pipeline accounting *)
+  checki "no stats without pipeline" 0 (List.length stats_off);
+  checkb "stats with pipeline" true (List.length stats_on > 0);
+  (* the certify path really is logarithmic: carry merges are the
+     binary-counter tail, never the (leaves - 1) burst fold *)
+  List.iter
+    (fun (cs : Proof_pipeline.certificate_stats) ->
+      checkb
+        (Printf.sprintf "epoch %d carries %d <= ceil(log2 %d) + 1"
+           cs.cert_epoch cs.cert_carry_merges cs.cert_leaves)
+        true
+        (cs.cert_carry_merges <= ceil_log2 (max 1 cs.cert_leaves) + 1);
+      if cs.cert_leaves > 0 then
+        checki
+          (Printf.sprintf "epoch %d carries = popcount - 1" cs.cert_epoch)
+          (popcount cs.cert_leaves - 1)
+          cs.cert_carry_merges)
+    stats_on
+
+(* ---- record retention ---- *)
+
+let test_record_pruning () =
+  let h = Harness.create ~seed:"pipe.prune" () in
+  Harness.fund h ~blocks:5;
+  let sc =
+    ok
+      (Harness.add_latus h ~name:"sc" ~family ~epoch_len:2 ~submit_len:5
+         ~activation_delay:1 ())
+  in
+  let receiver = Hash.of_string "prune-user" in
+  ok
+    (Harness.forward_transfer h sc ~receiver ~payback:receiver
+       ~amount:(amount 500));
+  Harness.tick_n h 40;
+  let certified =
+    match
+      Zen_mainchain.Sc_ledger.find
+        (Zen_mainchain.Chain.tip_state h.chain).scs sc.ledger_id
+    with
+    | None -> 0
+    | Some s -> List.length s.certs
+  in
+  checkb "many epochs certified" true (certified >= 10);
+  (* 40 ticks at epoch_len 2 forge ~20 epochs of records; retention
+     keeps the window anchored at the certified horizon instead *)
+  checkb "records pruned to the retention window" true
+    (Node.retained_records sc.node <= 2 * 10);
+  checkb "pipeline stayed on" true (Node.pipeline_enabled sc.node);
+  checki "pipeline drained" 0 (Node.pipeline_depth sc.node)
+
+let suite =
+  ( "pipeline",
+    [
+      Alcotest.test_case "incremental fold, all prefixes" `Quick
+        test_incremental_all_prefixes;
+      test_incremental_equivalence;
+      Alcotest.test_case "incremental fold, double break" `Quick
+        test_incremental_double_break;
+      Alcotest.test_case "prove_and_merge = prove_epoch + merge_all" `Quick
+        test_prove_and_merge_identical;
+      Alcotest.test_case "storm: pipeline on/off byte-identical" `Quick
+        test_storm_pipeline_invariant;
+      Alcotest.test_case "records pruned to certified horizon" `Quick
+        test_record_pruning;
+    ] )
